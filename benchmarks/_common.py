@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure-equivalent of the paper
+(see DESIGN.md §3).  The table is printed to stdout *and* persisted to
+``benchmarks/results/<exp>.txt`` so ``pytest benchmarks/
+--benchmark-only`` leaves a full record behind regardless of output
+capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+from repro.analysis import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(exp_id: str, title: str, body: str) -> None:
+    """Print an experiment report and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = f"== {exp_id}: {title} ==\n{body}\n"
+    print("\n" + report)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(report)
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format a table body (thin wrapper for import convenience)."""
+    return format_table(headers, rows)

@@ -1,0 +1,79 @@
+"""E10 — construction and query costs (objectives (1)/(2) of Sec. 1).
+
+The paper argues preprocessing cost is secondary to structure size and
+usage quality; this benchmark quantifies all three on a fixed instance:
+builder wall-times (pytest-benchmark), structure sizes, and oracle query
+throughput from the stored structure.
+"""
+
+import pytest
+
+from repro.ftbfs import (
+    FTQueryOracle,
+    build_approx_ftmbfs,
+    build_cons2ftbfs,
+    build_dual_ftbfs_simple,
+    build_generic_ftbfs,
+    build_single_ftbfs,
+)
+from repro.generators import erdos_renyi, sample_queries
+
+from _common import emit, table
+
+N, P, SEED = 80, 0.07, 20
+
+
+def _graph():
+    return erdos_renyi(N, P, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def shared_graph():
+    return _graph()
+
+
+def test_e10_build_single(benchmark, shared_graph):
+    h = benchmark.pedantic(
+        lambda: build_single_ftbfs(shared_graph, 0), rounds=3, iterations=1
+    )
+    assert h.size <= shared_graph.m
+
+
+def test_e10_build_cons2(benchmark, shared_graph):
+    h = benchmark.pedantic(
+        lambda: build_cons2ftbfs(shared_graph, 0), rounds=3, iterations=1
+    )
+    assert h.size <= shared_graph.m
+
+
+def test_e10_build_simple_dual(benchmark, shared_graph):
+    h = benchmark.pedantic(
+        lambda: build_dual_ftbfs_simple(shared_graph, 0), rounds=3, iterations=1
+    )
+    assert h.size <= shared_graph.m
+
+
+def test_e10_build_generic_f2(benchmark, shared_graph):
+    h = benchmark.pedantic(
+        lambda: build_generic_ftbfs(shared_graph, 0, 2), rounds=2, iterations=1
+    )
+    assert h.size <= shared_graph.m
+
+
+def test_e10_oracle_queries(benchmark, shared_graph):
+    h = build_cons2ftbfs(shared_graph, 0)
+    oracle = FTQueryOracle(h)
+    queries = sample_queries(shared_graph, 2, 200, seed=2)
+
+    def run():
+        return [oracle.distance(0, v, faults) for v, faults in queries]
+
+    results = benchmark(run)
+    assert len(results) == 200
+
+    rows = [
+        ["graph", f"n={N}, p={P}, m={shared_graph.m}"],
+        ["structure size", h.size],
+        ["query batch", "200 mixed 0-2 fault queries"],
+    ]
+    emit("E10", "construction & query cost summary", table(["item", "value"], rows))

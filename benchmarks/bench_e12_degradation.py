@@ -1,0 +1,86 @@
+"""E12 (extension) — graceful degradation and the size/stretch trade-off.
+
+The paper motivates exact structures against the O(n)-size approximate
+structures of [12, 13].  This extension experiment quantifies both
+directions on one instance:
+
+* degradation: run the f=1 structure of [10] under *two* faults and
+  the f=2 structure under *three* — how often do answers stay exact,
+  and how bad is the worst stretch?
+* trade-off: greedily sparsify the exact f=2 structure under growing
+  multiplicative stretch budgets (a stand-in for [12, 13]).
+"""
+
+import pytest
+
+from repro.analysis import sparsify_by_stretch, structure_stretch
+from repro.ftbfs import build_cons2ftbfs, build_single_ftbfs
+from repro.generators import erdos_renyi, sample_fault_sets
+
+from _common import emit, table
+
+N, P, SEED = 24, 0.2, 15
+
+
+def test_e12_degradation_and_tradeoff(benchmark):
+    g = erdos_renyi(N, P, seed=SEED)
+    h1 = build_single_ftbfs(g, 0)
+    h2 = build_cons2ftbfs(g, 0)
+
+    rows = []
+    for label, h, budget in [
+        ("f=1 within budget", h1, 1),
+        ("f=1 under 2 faults", h1, 2),
+        ("f=2 within budget", h2, 2),
+        ("f=2 under 3 faults", h2, None),  # sampled triples
+    ]:
+        if budget is None:
+            faults = sample_fault_sets(g, 3, 250, seed=1)
+            profile = structure_stretch(h, 3, fault_sets=faults)
+        else:
+            profile = structure_stretch(h, budget)
+        rows.append(
+            [
+                label,
+                h.size,
+                f"{profile.exact_fraction:.3f}",
+                f"{profile.max_multiplicative:.2f}",
+                profile.max_additive,
+                profile.disconnected_pairs,
+            ]
+        )
+    deg_table = table(
+        ["scenario", "|H|", "exact frac", "max mult", "max add", "cut pairs"],
+        rows,
+    )
+
+    # within budget everything must be exact
+    assert rows[0][2] == "1.000" and rows[2][2] == "1.000"
+
+    trade_rows = []
+    for budget in [1.0, 1.5, 2.0, 3.0]:
+        sparser = sparsify_by_stretch(g, h2, budget)
+        profile = structure_stretch(sparser, 2)
+        trade_rows.append(
+            [
+                f"stretch <= {budget:.1f}",
+                sparser.size,
+                f"{100.0 * sparser.size / h2.size:.0f}%",
+                f"{profile.max_multiplicative:.2f}",
+            ]
+        )
+        assert profile.max_multiplicative <= budget + 1e-9
+        assert profile.disconnected_pairs == 0
+    sizes = [r[1] for r in trade_rows]
+    assert sizes == sorted(sizes, reverse=True)
+
+    body = (
+        deg_table
+        + "\n\nsize/stretch trade-off (greedy sparsification of the f=2 structure):\n"
+        + table(["budget", "|H|", "vs exact", "measured max mult"], trade_rows)
+    )
+    emit("E12", "degradation beyond budget & size/stretch trade-off", body)
+
+    benchmark.pedantic(
+        lambda: structure_stretch(h1, 2), rounds=2, iterations=1
+    )

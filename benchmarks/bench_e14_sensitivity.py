@@ -1,0 +1,83 @@
+"""E14 (extension) — sensitivity-oracle query costs (the [5, 2, 7] context).
+
+The introduction contrasts FT-BFS structures with f-sensitivity distance
+oracles.  This experiment measures the single-source query-cost spectrum
+the library offers:
+
+* naive: BFS over the full graph per query;
+* table: O(1) lookups for one fault (``SingleFaultDistanceOracle``);
+* structure: BFS over the sparse FT-BFS subgraph for two faults
+  (``DualFaultDistanceOracle``).
+"""
+
+import time
+
+import pytest
+
+from repro.core.canonical import DistanceOracle
+from repro.ftbfs.sensitivity import (
+    DualFaultDistanceOracle,
+    SingleFaultDistanceOracle,
+)
+from repro.generators import erdos_renyi, sample_queries
+
+from _common import emit, table
+
+N, P, SEED = 120, 0.06, 33
+
+
+def test_e14_sensitivity_query_costs(benchmark):
+    g = erdos_renyi(N, P, seed=SEED)
+    single = SingleFaultDistanceOracle(g, 0)
+    dual = DualFaultDistanceOracle(g, 0)
+    naive = DistanceOracle(g)
+    queries1 = [
+        (v, faults[0]) for v, faults in sample_queries(g, 1, 400, seed=1) if faults
+    ]
+    queries2 = [
+        (v, faults) for v, faults in sample_queries(g, 2, 400, seed=2)
+        if len(faults) == 2
+    ]
+
+    def timed(fn, reps=1):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        return (time.perf_counter() - t0) / reps
+
+    t_naive1 = timed(
+        lambda: [naive.distance(0, v, banned_edges=(e,)) for v, e in queries1]
+    )
+    t_table1 = timed(
+        lambda: [single.distance(v, e) for v, e in queries1], reps=5
+    )
+    t_naive2 = timed(
+        lambda: [naive.distance(0, v, banned_edges=f) for v, f in queries2]
+    )
+    t_struct2 = timed(
+        lambda: [dual.distance(v, f) for v, f in queries2]
+    )
+
+    # correctness spot check on the measured batches
+    for v, e in queries1[:50]:
+        assert single.distance(v, e) == naive.distance(0, v, banned_edges=(e,))
+    for v, f in queries2[:50]:
+        assert dual.distance(v, f) == naive.distance(0, v, banned_edges=f)
+
+    rows = [
+        ["1 fault, naive BFS on G", len(queries1), f"{1e6 * t_naive1 / len(queries1):.1f}"],
+        ["1 fault, table lookup", len(queries1), f"{1e6 * t_table1 / len(queries1):.1f}"],
+        ["2 faults, naive BFS on G", len(queries2), f"{1e6 * t_naive2 / len(queries2):.1f}"],
+        ["2 faults, BFS on sparse H", len(queries2), f"{1e6 * t_struct2 / len(queries2):.1f}"],
+    ]
+    body = table(["query mode", "queries", "us/query"], rows)
+    body += (
+        f"\nstructure size {dual.structure_size} vs m={g.m}; table "
+        f"preprocessing: {single.preprocessing_tables} BFS runs"
+    )
+    emit("E14", "sensitivity-oracle query costs", body)
+
+    # the table oracle must beat per-query BFS by a wide margin
+    assert t_table1 < t_naive1 / 3
+
+    benchmark(lambda: [single.distance(v, e) for v, e in queries1])

@@ -1,0 +1,69 @@
+"""E15 (extension) — multi-source FT-MBFS: upper vs lower bound in σ.
+
+Theorem 1.2's σ-dependence says multi-source structures must grow like
+``σ^{1-1/(f+1)}``; the trivial upper bound (union of per-source
+structures) grows at most linearly in σ.  This experiment measures both
+sides: union-structure sizes on random graphs as σ grows (with the
+expected strong overlap between per-source structures), and the forced
+lower-bound mass of the multi-source ``G*_1`` next to it.
+"""
+
+import pytest
+
+from repro.ftbfs import build_cons2ftbfs, build_ft_mbfs, verify_structure_sampled
+from repro.generators import erdos_renyi
+from repro.lowerbound import build_lower_bound_graph
+
+from _common import emit, table
+
+SIGMAS = [1, 2, 4, 8]
+
+
+def test_e15_multi_source_scaling(benchmark):
+    g = erdos_renyi(60, 0.08, seed=51)
+    rows = []
+    prev_size = 0
+    for sigma in SIGMAS:
+        sources = list(range(sigma))
+        h = build_ft_mbfs(g, sources, 2, builder=build_cons2ftbfs)
+        verify_structure_sampled(h, samples=40, seed=sigma)
+        per_source = h.stats["per_source_size"]
+        union_of_sizes = sum(per_source.values())
+        overlap = 1 - h.size / union_of_sizes
+        rows.append(
+            [
+                "ER n=60 (upper)",
+                sigma,
+                h.size,
+                union_of_sizes,
+                f"{100.0 * overlap:.0f}%",
+            ]
+        )
+        assert h.size >= prev_size  # more sources never shrink the union
+        prev_size = h.size
+        assert h.size <= union_of_sizes
+
+    lb_rows = []
+    for sigma in [1, 2, 4]:
+        inst = build_lower_bound_graph(480, 1, sigma=sigma)
+        lb_rows.append(
+            ["G*_1 n=480 (lower)", sigma, inst.forced_lower_bound(), "-", "-"]
+        )
+
+    body = table(
+        ["family", "sigma", "|H| / forced", "sum per-source", "overlap saved"],
+        rows + lb_rows,
+    )
+    body += (
+        "\nReading: union structures grow sublinearly in sigma thanks to "
+        "\nshared edges (overlap column), while the adversarial family's "
+        "\nforced mass grows like sigma^(1/2) — the two sides of the "
+        "\nmulti-source story of Thm 1.2."
+    )
+    emit("E15", "multi-source FT-MBFS scaling in sigma", body)
+
+    benchmark.pedantic(
+        lambda: build_ft_mbfs(g, [0, 1], 2, builder=build_cons2ftbfs),
+        rounds=1,
+        iterations=1,
+    )

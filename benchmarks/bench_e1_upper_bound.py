@@ -1,0 +1,67 @@
+"""E1 — Theorem 1.1: dual-failure FT-BFS structures have O(n^{5/3}) edges.
+
+Regenerates the paper's headline size bound as a measured series:
+``|E(H)|`` produced by Algorithm Cons2FTBFS on (a) sparse random graphs
+and (b) the adversarial ``G*_2`` family, with the empirical log-log
+exponent next to the theoretical 5/3.
+"""
+
+import pytest
+
+from repro.analysis import fit_power_law
+from repro.ftbfs import build_cons2ftbfs
+from repro.generators import erdos_renyi
+from repro.lowerbound import build_lower_bound_graph
+
+from _common import emit, table
+
+ER_SWEEP = [60, 100, 150, 220]
+ADV_SWEEP = [92, 250]
+
+
+def test_e1_upper_bound_scaling(benchmark):
+    rows = []
+    er_sizes = []
+    for n in ER_SWEEP:
+        g = erdos_renyi(n, 5.0 / n, seed=1)
+        h = build_cons2ftbfs(g, 0)
+        er_sizes.append(h.size)
+        rows.append(
+            ["ER(5/n)", n, g.m, h.size, f"{h.size / n ** (5 / 3):.3f}",
+             h.stats["max_new_edges"]]
+        )
+    adv_sizes = []
+    for n in ADV_SWEEP:
+        inst = build_lower_bound_graph(n, 2)
+        h = build_cons2ftbfs(inst.graph, inst.sources[0])
+        adv_sizes.append(h.size)
+        rows.append(
+            ["G*_2", n, inst.graph.m, h.size,
+             f"{h.size / n ** (5 / 3):.3f}", h.stats["max_new_edges"]]
+        )
+
+    er_fit = fit_power_law(ER_SWEEP, er_sizes)
+    adv_fit = fit_power_law(ADV_SWEEP, adv_sizes)
+    body = table(
+        ["family", "n", "m", "|E(H)|", "size/n^(5/3)", "max |New(v)|"], rows
+    )
+    body += (
+        f"\nempirical exponent ER: {er_fit.alpha:.3f} (R2={er_fit.r_squared:.3f})"
+        f"\nempirical exponent G*_2: {adv_fit.alpha:.3f}"
+        f"  [theory: <= 5/3 ~ 1.667]"
+    )
+    emit("E1", "Cons2FTBFS size vs n (Thm 1.1)", body)
+
+    # Shape assertions: the bound respects O(n^{5/3}) with a small
+    # constant on both families; sparse ER stays clearly below it.
+    for n, size in zip(ER_SWEEP, er_sizes):
+        assert size <= 3 * n ** (5 / 3)
+    for n, size in zip(ADV_SWEEP, adv_sizes):
+        assert size <= 3 * n ** (5 / 3)
+    assert er_fit.alpha <= 5 / 3 + 0.15
+    assert adv_fit.alpha <= 5 / 3 + 0.15
+
+    g = erdos_renyi(150, 5.0 / 150, seed=1)
+    benchmark.pedantic(
+        lambda: build_cons2ftbfs(g, 0), rounds=2, iterations=1
+    )

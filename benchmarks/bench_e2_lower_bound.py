@@ -1,0 +1,84 @@
+"""E2 — Theorem 1.2 / Figs. 10-12: the Ω(σ^{1-1/(f+1)} n^{2-1/(f+1)}) family.
+
+Regenerates the lower-bound mass as a measured series: the number of
+*provably forced* bipartite edges of ``G*_f`` for f = 1, 2, 3 and for a
+σ sweep, with empirical exponents next to the theory, plus witness
+verification on a sample of certificates.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import fit_power_law
+from repro.lowerbound import (
+    build_lower_bound_graph,
+    check_witness,
+    forced_edge_witnesses,
+)
+
+from _common import emit, table
+
+SWEEPS = {
+    1: [80, 160, 320, 640],
+    2: [100, 250, 520],
+    3: [240, 1000],
+}
+THEORY = {1: 1.5, 2: 5 / 3, 3: 1.75}
+
+
+def test_e2_forced_edges_scaling(benchmark):
+    rows = []
+    fits = {}
+    for f, ns in SWEEPS.items():
+        sizes = []
+        for n in ns:
+            inst = build_lower_bound_graph(n, f)
+            forced = inst.forced_lower_bound()
+            sizes.append(forced)
+            rows.append(
+                [f, 1, n, inst.d, forced, f"{forced / n ** (2 - 1 / (f + 1)):.3f}"]
+            )
+            # verify a sample of the certificates
+            rng = random.Random(n)
+            ws = forced_edge_witnesses(inst)
+            sample = rng.sample(ws, min(25, len(ws)))
+            assert all(check_witness(inst, e, s, faults) for e, s, faults in sample)
+        fits[f] = fit_power_law(ns, sizes)
+
+    # sigma sweep at f = 1, fixed n
+    sigma_rows = []
+    n = 480
+    sigma_sizes = []
+    sigmas = [1, 2, 4]
+    for sigma in sigmas:
+        inst = build_lower_bound_graph(n, 1, sigma=sigma)
+        forced = inst.forced_lower_bound()
+        sigma_sizes.append(forced)
+        rows.append([1, sigma, n, inst.d, forced, ""])
+    sigma_fit = fit_power_law(sigmas, sigma_sizes)
+
+    body = table(
+        ["f", "sigma", "n", "d", "forced edges", "forced/n^(2-1/(f+1))"], rows
+    )
+    for f, fit in fits.items():
+        body += (
+            f"\nf={f}: empirical exponent {fit.alpha:.3f} "
+            f"(theory {THEORY[f]:.3f})"
+        )
+    body += (
+        f"\nsigma exponent at f=1: {sigma_fit.alpha:.3f} "
+        f"(theory 1 - 1/(f+1) = 0.5)"
+    )
+    emit("E2", "forced lower-bound mass of G*_f (Thm 1.2)", body)
+
+    for f, fit in fits.items():
+        assert abs(fit.alpha - THEORY[f]) < 0.45, (f, fit.alpha)
+    # more sources force more edges, sublinearly
+    assert sigma_sizes[0] < sigma_sizes[1] < sigma_sizes[2]
+
+    benchmark.pedantic(
+        lambda: build_lower_bound_graph(320, 2).forced_lower_bound(),
+        rounds=2,
+        iterations=1,
+    )

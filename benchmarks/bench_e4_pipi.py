@@ -1,0 +1,48 @@
+"""E4 — Lemma 1.5 / 3.18: (π,π) last edges number O(√n) per vertex.
+
+Regenerates the per-vertex bound on new edges contributed by steps 1-2
+(single faults and fault pairs on π(s, v)): the maximum over vertices of
+``new_from_single + new_from_pipi`` grows like O(√n).
+"""
+
+import pytest
+
+from repro.analysis import fit_power_law
+from repro.ftbfs import build_cons2ftbfs
+from repro.generators import tree_plus_chords
+
+from _common import emit, table
+
+SWEEP = [30, 60, 120, 200]
+
+
+def test_e4_pipi_per_vertex_bound(benchmark):
+    rows = []
+    maxima = []
+    for n in SWEEP:
+        g = tree_plus_chords(n, n // 2, seed=n)
+        h = build_cons2ftbfs(g, 0, keep_records=True)
+        per_vertex = [
+            rec.new_from_single + rec.new_from_pipi
+            for rec in h.stats["records"]
+        ]
+        mx = max(per_vertex, default=0)
+        mean = sum(per_vertex) / max(len(per_vertex), 1)
+        maxima.append(max(mx, 1))
+        rows.append(
+            [n, g.m, mx, f"{mean:.2f}", f"{mx / n ** 0.5:.3f}"]
+        )
+        assert mx <= 3 * n ** 0.5, f"(π,π) bound violated at n={n}"
+
+    fit = fit_power_law(SWEEP, maxima)
+    body = table(
+        ["n", "m", "max π-edges/vertex", "mean", "max / sqrt(n)"], rows
+    )
+    body += f"\nempirical exponent: {fit.alpha:.3f} (theory <= 0.5)"
+    emit("E4", "per-vertex (π,π) last edges vs sqrt(n) (Lem 3.18)", body)
+    assert fit.alpha <= 0.5 + 0.35
+
+    g = tree_plus_chords(120, 60, seed=120)
+    benchmark.pedantic(
+        lambda: build_cons2ftbfs(g, 0), rounds=2, iterations=1
+    )

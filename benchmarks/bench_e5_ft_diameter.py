@@ -1,0 +1,44 @@
+"""E5 — Observation 1.6: small FT-diameter graphs have O(D_f^f · n) structures.
+
+Regenerates the observation as a table on dense random graphs (whose
+2-FT-diameter stays tiny): exact generic structure size vs the
+``D_f^f · n`` bound.
+"""
+
+import pytest
+
+from repro.ftbfs import (
+    build_generic_ftbfs,
+    ft_diameter,
+    observation_1_6_bound,
+    verify_structure_sampled,
+)
+from repro.generators import erdos_renyi
+
+from _common import emit, table
+
+CASES = [(20, 0.5), (30, 0.4), (40, 0.3), (50, 0.25)]
+
+
+def test_e5_ft_diameter_bound(benchmark):
+    rows = []
+    for n, p in CASES:
+        g = erdos_renyi(n, p, seed=n)
+        d2 = ft_diameter(g, 0, 2)
+        bound = observation_1_6_bound(g, 0, 2)
+        h = build_generic_ftbfs(g, 0, 2)
+        verify_structure_sampled(h, samples=60, seed=n)
+        rows.append(
+            [n, g.m, d2, bound, h.size, f"{h.size / bound:.3f}"]
+        )
+        assert h.size <= bound, f"Obs 1.6 violated at n={n}"
+
+    body = table(
+        ["n", "m", "D_2(G)", "D_2^2 * n", "|E(H)| exact", "ratio"], rows
+    )
+    emit("E5", "FT-diameter size bound (Obs 1.6)", body)
+
+    g = erdos_renyi(30, 0.4, seed=30)
+    benchmark.pedantic(
+        lambda: ft_diameter(g, 0, 2), rounds=2, iterations=1
+    )

@@ -1,0 +1,65 @@
+"""E9 — Fig. 7: five-way new-ending path classification census.
+
+Regenerates the classification at the heart of the size analysis: how
+the new-ending paths of real Cons2FTBFS runs distribute over the classes
+``P_π``, ``P_nodet``, ``P_indep``, ``I_π``, ``I_D``, plus the per-phase
+new-edge split.
+"""
+
+import pytest
+
+from repro.analysis import path_class_census
+from repro.ftbfs import build_cons2ftbfs
+from repro.generators import erdos_renyi, tree_plus_chords
+from repro.replacement.classify import PathClass
+
+from _common import emit, table
+
+CASES = [
+    ("ER n=60 p=.1", lambda: erdos_renyi(60, 0.1, seed=11)),
+    ("chords n=60", lambda: tree_plus_chords(60, 35, seed=12)),
+    ("chords n=120", lambda: tree_plus_chords(120, 70, seed=13)),
+]
+
+
+def adversarial_case():
+    from repro.lowerbound import build_lower_bound_graph
+
+    inst = build_lower_bound_graph(92, 2)
+    return inst.graph, inst.sources[0]
+
+
+def test_e9_path_class_census(benchmark):
+    rows = []
+    cases = [(label, lambda make=make: (make(), 0)) for label, make in CASES]
+    cases.append(("G*_2 n=92", adversarial_case))
+    for label, make in cases:
+        g, source = make()
+        h = build_cons2ftbfs(g, source, keep_records=True)
+        census = path_class_census(h)
+        total = sum(census.values())
+        phases = h.stats["new_edges_by_phase"]
+        row = [label, total]
+        for cls in PathClass:
+            row.append(census[cls])
+        row.append(f"{phases['single']}/{phases['pipi']}/{phases['pid']}")
+        rows.append(row)
+        # the census partitions exactly the recorded new-ending paths
+        expected = sum(
+            len(r.pipi_records) + len(r.new_ending)
+            for r in h.stats["records"]
+        )
+        assert total == expected
+
+    headers = ["graph", "total"] + [c.value for c in PathClass] + [
+        "new edges s/ππ/πD"
+    ]
+    body = table(headers, rows)
+    emit("E9", "new-ending path class census (Fig. 7)", body)
+
+    g = tree_plus_chords(60, 35, seed=12)
+    benchmark.pedantic(
+        lambda: path_class_census(build_cons2ftbfs(g, 0, keep_records=True)),
+        rounds=2,
+        iterations=1,
+    )

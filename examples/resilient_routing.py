@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Resilient routing simulation: live failures against a stored structure.
+
+Simulates an operations timeline on a torus-like backbone: links fail
+(up to two at a time), traffic must be rerouted, failed links recover.
+All routing decisions are answered from the sparse FT-BFS structure
+alone — the full network map is only used to double-check optimality.
+
+Run:  python examples/resilient_routing.py
+"""
+
+import random
+
+from repro import FTQueryOracle, build_cons2ftbfs, torus_graph
+from repro.core.canonical import DistanceOracle
+
+
+def main() -> None:
+    g = torus_graph(5, 6)
+    root = 0
+    h = build_cons2ftbfs(g, root)
+    oracle = FTQueryOracle(h)
+    truth = DistanceOracle(g)
+    print(f"backbone: {g.n} routers, {g.m} links")
+    print(f"stored structure: {h.size} links (f = {h.max_faults})\n")
+
+    rng = random.Random(17)
+    live_faults = []
+    rerouted = 0
+    widened = 0
+    for step in range(1, 21):
+        # Fail or recover a link.
+        if live_faults and (len(live_faults) == 2 or rng.random() < 0.4):
+            recovered = live_faults.pop(rng.randrange(len(live_faults)))
+            event = f"link {recovered} recovered"
+        else:
+            candidates = [e for e in sorted(g.edges()) if e not in live_faults]
+            failed = rng.choice(candidates)
+            live_faults.append(failed)
+            event = f"link {failed} FAILED"
+
+        # Route a random flow from the root under the current fault set.
+        target = rng.randrange(1, g.n)
+        d = oracle.distance(root, target, live_faults)
+        d_true = truth.distance(root, target, banned_edges=live_faults)
+        assert d == d_true, "structure returned a non-optimal distance!"
+        baseline = truth.distance(root, target)
+        if d > baseline:
+            widened += 1
+        if d != baseline:
+            note = f"rerouted (+{int(d - baseline)} hops)"
+            rerouted += 1
+        else:
+            note = "optimal primary route intact"
+        path = oracle.path(root, target, live_faults)
+        print(
+            f"t={step:>2}  {event:<28} flow->r{target:<3} dist={int(d):<3} {note}"
+        )
+        print(f"       route: {'-'.join(map(str, path.vertices))}")
+
+    print(
+        f"\n{rerouted} of 20 flows needed rerouting; every answer matched "
+        "the ground-truth shortest path under the live fault set."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package installs in offline
+environments that lack the ``wheel`` package (where PEP 517 editable
+builds fail):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

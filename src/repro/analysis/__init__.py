@@ -1,0 +1,29 @@
+"""Analysis toolkit: structural censuses and scaling-law fits."""
+
+from repro.analysis.census import detour_census, path_class_census, per_vertex_new_edges
+from repro.analysis.stretch import (
+    StretchProfile,
+    sparsify_by_stretch,
+    stretch_profile,
+    structure_stretch,
+)
+from repro.analysis.scaling import (
+    PowerLawFit,
+    fit_power_law,
+    format_table,
+    normalized_series,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "StretchProfile",
+    "detour_census",
+    "fit_power_law",
+    "format_table",
+    "normalized_series",
+    "path_class_census",
+    "per_vertex_new_edges",
+    "sparsify_by_stretch",
+    "stretch_profile",
+    "structure_stretch",
+]

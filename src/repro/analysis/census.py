@@ -1,0 +1,75 @@
+"""Structural censuses over ``Cons2FTBFS`` runs (experiments E8/E9).
+
+These helpers aggregate the per-vertex evidence recorded by
+``build_cons2ftbfs(..., keep_records=True)`` into the two figure-style
+tables the paper motivates:
+
+* the *detour configuration census* — how often each pairwise detour
+  configuration of Definition 3.7 / Fig. 3/4 occurs;
+* the *new-ending path class census* — how the new-ending paths split
+  across the five classes of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.graph import normalize_edge
+from repro.ftbfs.cons2ftbfs import VertexRecord
+from repro.ftbfs.structures import FTStructure
+from repro.replacement.classify import (
+    PathClass,
+    class_counts,
+    classify_new_ending,
+)
+from repro.replacement.detours import DetourConfiguration, configuration_census
+
+
+def detour_census(structure: FTStructure) -> Dict[DetourConfiguration, int]:
+    """Aggregate pairwise detour configurations over all targets.
+
+    Requires a structure built with ``keep_records=True``.
+    """
+    records: List[VertexRecord] = _records(structure)
+    totals = {c: 0 for c in DetourConfiguration}
+    for rec in records:
+        detours = rec.detours
+        if len(detours) < 2:
+            continue
+        counts = configuration_census(rec.pi_path, detours)
+        for c, k in counts.items():
+            totals[c] += k
+    return totals
+
+
+def path_class_census(structure: FTStructure) -> Dict[PathClass, int]:
+    """Aggregate new-ending path classes over all targets (Fig. 7)."""
+    records: List[VertexRecord] = _records(structure)
+    totals = {c: 0 for c in PathClass}
+    for rec in records:
+        all_new = rec.pipi_records + rec.new_ending
+        if not all_new:
+            continue
+        detour_map = {
+            normalize_edge(*s.fault): s
+            for s in rec.singles.values()
+            if s is not None
+        }
+        classified = classify_new_ending(rec.pi_path, all_new, detour_map)
+        for c, k in class_counts(classified).items():
+            totals[c] += k
+    return totals
+
+
+def per_vertex_new_edges(structure: FTStructure) -> Dict[int, int]:
+    """``|New(v)|`` per vertex (the E7 series)."""
+    return dict(structure.stats.get("new_edges_per_vertex", {}))
+
+
+def _records(structure: FTStructure) -> List[VertexRecord]:
+    records = structure.stats.get("records")
+    if records is None:
+        raise ValueError(
+            "structure lacks per-vertex records; rebuild with keep_records=True"
+        )
+    return records

@@ -1,0 +1,156 @@
+"""Stretch profiles: how sub-optimal a structure gets beyond its budget.
+
+The paper contrasts its *exact* structures with the O(n)-size
+*approximate* structures of [12, 13] and argues exactness is the right
+first-class object.  This module quantifies the other side of that
+trade-off for any subgraph ``H ⊆ G``:
+
+* :func:`stretch_profile` — distribution of multiplicative/additive
+  stretch ``dist(s, v, H \\ F)`` vs ``dist(s, v, G \\ F)`` over a fault
+  workload (e.g. running an f=1 structure under two faults);
+* :func:`sparsify_by_stretch` — a greedy reverse-delete that trades
+  structure size for bounded stretch, producing the size/stretch curve
+  of experiment E12.
+
+Disconnections that ``G \\ F`` itself does not suffer count as infinite
+stretch and are reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.canonical import DistanceOracle, UNREACHED
+from repro.core.graph import Edge, Graph, normalize_edges
+from repro.ftbfs.structures import FTStructure
+from repro.generators.workloads import all_fault_sets
+
+
+@dataclass(frozen=True)
+class StretchProfile:
+    """Summary of a stretch measurement over a fault workload.
+
+    ``max_multiplicative``/``max_additive`` are taken over all (v, F)
+    pairs where ``v`` stays reachable in both graphs;
+    ``disconnected_pairs`` counts pairs reachable in ``G \\ F`` but not
+    in ``H \\ F`` (infinite stretch).
+    """
+
+    pairs: int
+    exact_pairs: int
+    max_multiplicative: float
+    mean_multiplicative: float
+    max_additive: int
+    disconnected_pairs: int
+
+    @property
+    def exact_fraction(self) -> float:
+        """Fraction of pairs answered with the exact distance."""
+        return self.exact_pairs / self.pairs if self.pairs else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"StretchProfile(pairs={self.pairs}, exact={self.exact_fraction:.2%}, "
+            f"max_mult={self.max_multiplicative:.3f}, "
+            f"max_add={self.max_additive}, cut={self.disconnected_pairs})"
+        )
+
+
+def stretch_profile(
+    graph: Graph,
+    edges: Iterable[Sequence[int]],
+    source: int,
+    fault_sets: Iterable[Tuple[Edge, ...]],
+) -> StretchProfile:
+    """Measure stretch of the subgraph over the given fault workload."""
+    h = graph.edge_subgraph(normalize_edges(edges))
+    g_oracle = DistanceOracle(graph)
+    h_oracle = DistanceOracle(h)
+    pairs = 0
+    exact = 0
+    max_mult = 1.0
+    sum_mult = 0.0
+    max_add = 0
+    cut = 0
+    for faults in fault_sets:
+        gd = g_oracle.distances_from(source, banned_edges=faults)
+        hd = h_oracle.distances_from(source, banned_edges=faults)
+        for v in range(graph.n):
+            if v == source or gd[v] == UNREACHED:
+                continue
+            pairs += 1
+            if hd[v] == UNREACHED:
+                cut += 1
+                continue
+            if hd[v] == gd[v]:
+                exact += 1
+            mult = hd[v] / gd[v] if gd[v] else 1.0
+            sum_mult += mult
+            max_mult = max(max_mult, mult)
+            max_add = max(max_add, hd[v] - gd[v])
+    mean_mult = sum_mult / (pairs - cut) if pairs - cut else 1.0
+    return StretchProfile(
+        pairs=pairs,
+        exact_pairs=exact,
+        max_multiplicative=max_mult,
+        mean_multiplicative=mean_mult,
+        max_additive=max_add,
+        disconnected_pairs=cut,
+    )
+
+
+def structure_stretch(
+    structure: FTStructure,
+    max_faults: int,
+    fault_sets: Optional[Iterable[Tuple[Edge, ...]]] = None,
+) -> StretchProfile:
+    """Stretch of a built structure under a (possibly larger) fault budget."""
+    if fault_sets is None:
+        fault_sets = list(all_fault_sets(structure.graph, max_faults))
+    return stretch_profile(
+        structure.graph, structure.edges, structure.source, fault_sets
+    )
+
+
+def sparsify_by_stretch(
+    graph: Graph,
+    structure: FTStructure,
+    max_multiplicative: float,
+    fault_sets: Optional[List[Tuple[Edge, ...]]] = None,
+) -> FTStructure:
+    """Greedy reverse-delete keeping stretch within ``max_multiplicative``.
+
+    Walks the structure's non-tree edges (densest vertices first) and
+    drops each edge whose removal keeps every workload pair within the
+    stretch budget — an executable stand-in for the approximate
+    structures of [12, 13] used by experiment E12.
+    """
+    from repro.core.tree import BFSTree
+
+    if graph is not structure.graph and graph != structure.graph:
+        raise ValueError("graph does not match the structure's host graph")
+    if fault_sets is None:
+        fault_sets = list(all_fault_sets(graph, structure.max_faults))
+    tree_edges = BFSTree(graph, structure.source).edges()
+    current: Set[Edge] = set(structure.edges)
+
+    def within_budget(edge_set: Set[Edge]) -> bool:
+        profile = stretch_profile(graph, edge_set, structure.source, fault_sets)
+        return (
+            profile.disconnected_pairs == 0
+            and profile.max_multiplicative <= max_multiplicative
+        )
+
+    for e in sorted(current - tree_edges, reverse=True):
+        trial = current - {e}
+        if within_budget(trial):
+            current = trial
+    return FTStructure(
+        graph=graph,
+        sources=structure.sources,
+        max_faults=structure.max_faults,
+        edges=frozenset(current),
+        builder=structure.builder + f"+stretch<={max_multiplicative}",
+        stats={"stretch_budget": max_multiplicative},
+    )

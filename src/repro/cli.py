@@ -1,0 +1,258 @@
+"""Command-line interface: build, verify and query structures from the shell.
+
+Examples::
+
+    python -m repro build  --graph er:n=60,p=0.08,seed=42 --builder cons2 \
+                           --source 0 --out h.json
+    python -m repro verify h.json --exhaustive
+    python -m repro query  h.json --target 37 --faults 0-29,1-22
+    python -m repro info   h.json
+    python -m repro lowerbound --n 150 --f 2 --check 25
+
+Graph specifications (``--graph``)::
+
+    er:n=60,p=0.08,seed=1       Erdős–Rényi
+    grid:rows=5,cols=8          grid
+    torus:rows=5,cols=6         torus
+    chords:n=60,chords=30,seed=1  random tree plus chords
+    file:path.edges             edge-list file (see repro.core.io)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.errors import GraphError, ReproError, VerificationError
+from repro.core.graph import Graph
+from repro.core.io import load_graph, load_structure, save_structure
+from repro.ftbfs import (
+    FTQueryOracle,
+    build_approx_ftmbfs,
+    build_cons2ftbfs,
+    build_dual_ftbfs_simple,
+    build_generic_ftbfs,
+    build_single_ftbfs,
+    verify_structure,
+    verify_structure_sampled,
+)
+from repro.generators import erdos_renyi, grid_graph, torus_graph, tree_plus_chords
+from repro.lowerbound import (
+    build_lower_bound_graph,
+    check_witness,
+    forced_edge_witnesses,
+    theoretical_lower_bound,
+)
+
+BUILDERS: Dict[str, Callable] = {
+    "cons2": lambda g, s, f: build_cons2ftbfs(g, s),
+    "simple": lambda g, s, f: build_dual_ftbfs_simple(g, s),
+    "single": lambda g, s, f: build_single_ftbfs(g, s),
+    "generic": lambda g, s, f: build_generic_ftbfs(g, s, f),
+    "approx": lambda g, s, f: build_approx_ftmbfs(g, [s], f),
+}
+
+
+def parse_graph_spec(spec: str) -> Graph:
+    """Materialize a ``kind:key=value,...`` graph specification."""
+    if ":" not in spec:
+        raise GraphError(f"graph spec {spec!r} must look like 'kind:args'")
+    kind, _, argstr = spec.partition(":")
+    if kind == "file":
+        return load_graph(argstr)
+    kwargs: Dict[str, float] = {}
+    if argstr:
+        for item in argstr.split(","):
+            key, _, value = item.partition("=")
+            if not value:
+                raise GraphError(f"bad graph argument {item!r}")
+            kwargs[key] = float(value) if "." in value else int(value)
+    try:
+        if kind == "er":
+            return erdos_renyi(int(kwargs["n"]), float(kwargs["p"]),
+                               seed=int(kwargs.get("seed", 0)))
+        if kind == "grid":
+            return grid_graph(int(kwargs["rows"]), int(kwargs["cols"]))
+        if kind == "torus":
+            return torus_graph(int(kwargs["rows"]), int(kwargs["cols"]))
+        if kind == "chords":
+            return tree_plus_chords(int(kwargs["n"]), int(kwargs["chords"]),
+                                    seed=int(kwargs.get("seed", 0)))
+    except KeyError as missing:
+        raise GraphError(f"graph spec {spec!r} missing argument {missing}") from None
+    raise GraphError(f"unknown graph kind {kind!r}")
+
+
+def parse_faults(text: Optional[str]) -> List[tuple]:
+    """Parse ``u-v,u-v,...`` fault lists."""
+    if not text:
+        return []
+    out = []
+    for item in text.split(","):
+        a, _, b = item.partition("-")
+        if not b:
+            raise GraphError(f"bad fault {item!r}; expected 'u-v'")
+        out.append((int(a), int(b)))
+    return out
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph)
+    builder = BUILDERS[args.builder]
+    structure = builder(graph, args.source, args.f)
+    save_structure(structure, args.out)
+    print(
+        f"built {structure.builder}: n={graph.n} m={graph.m} "
+        f"|H|={structure.size} f={structure.max_faults} -> {args.out}"
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    structure = load_structure(args.structure)
+    try:
+        if args.exhaustive:
+            verify_structure(structure)
+        else:
+            verify_structure_sampled(structure, samples=args.samples)
+    except VerificationError as err:
+        print(f"INVALID: {err}")
+        return 1
+    mode = "exhaustive" if args.exhaustive else f"{args.samples} sampled fault sets"
+    print(f"OK: structure verifies ({mode})")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    structure = load_structure(args.structure)
+    oracle = FTQueryOracle(structure)
+    faults = parse_faults(args.faults)
+    source = args.source if args.source is not None else structure.sources[0]
+    d = oracle.distance(source, args.target, faults)
+    if d == float("inf"):
+        print(f"dist({source} -> {args.target} | {faults}) = unreachable")
+        return 0
+    path = oracle.path(source, args.target, faults)
+    print(f"dist({source} -> {args.target} | {faults}) = {int(d)}")
+    print("route:", "-".join(map(str, path.vertices)))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    structure = load_structure(args.structure)
+    g = structure.graph
+    print(f"builder:    {structure.builder}")
+    print(f"graph:      n={g.n}, m={g.m}")
+    print(f"sources:    {list(structure.sources)}")
+    print(f"max faults: {structure.max_faults}")
+    print(f"|E(H)|:     {structure.size} ({100.0 * structure.size / g.m:.1f}% of G)")
+    print(f"exponent:   log_n |H| = {structure.density_exponent():.3f}")
+    for key in ("max_new_edges", "new_ending_paths", "fallbacks"):
+        if key in structure.stats:
+            print(f"{key}: {structure.stats[key]}")
+    return 0
+
+
+def cmd_lowerbound(args: argparse.Namespace) -> int:
+    inst = build_lower_bound_graph(args.n, args.f, sigma=args.sigma)
+    print(
+        f"G*_{args.f}: n={inst.graph.n} m={inst.graph.m} d={inst.d} "
+        f"sigma={args.sigma}"
+    )
+    print(f"forced bipartite edges: {inst.forced_lower_bound()}")
+    print(
+        f"theory: Omega(sigma^(1-1/(f+1)) n^(2-1/(f+1))) = "
+        f"{theoretical_lower_bound(args.n, args.f, args.sigma):.0f}"
+    )
+    if args.check:
+        witnesses = forced_edge_witnesses(inst, limit=args.check)
+        ok = sum(check_witness(inst, e, s, f) for e, s, f in witnesses)
+        print(f"certificates checked: {ok}/{len(witnesses)} hold")
+        if ok != len(witnesses):
+            return 1
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one (or all) of the E1-E14 experiment benchmarks via pytest."""
+    import pathlib
+
+    import pytest as _pytest
+
+    bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(f"error: benchmark directory not found at {bench_dir}", file=sys.stderr)
+        return 2
+    if args.id.lower() == "all":
+        targets = [str(bench_dir)]
+    else:
+        matches = sorted(bench_dir.glob(f"bench_{args.id.lower()}_*.py"))
+        if not matches:
+            print(f"error: no benchmark matches id {args.id!r}", file=sys.stderr)
+            return 2
+        targets = [str(m) for m in matches]
+    rc = _pytest.main(targets + ["--benchmark-only", "-q", "-s"])
+    return int(rc)
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant BFS structures (Parter, PODC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build a structure and save it")
+    p_build.add_argument("--graph", required=True, help="graph spec (see module docs)")
+    p_build.add_argument("--builder", choices=sorted(BUILDERS), default="cons2")
+    p_build.add_argument("--source", type=int, default=0)
+    p_build.add_argument("--f", type=int, default=2, help="fault budget (generic/approx)")
+    p_build.add_argument("--out", required=True)
+    p_build.set_defaults(func=cmd_build)
+
+    p_verify = sub.add_parser("verify", help="verify a saved structure")
+    p_verify.add_argument("structure")
+    p_verify.add_argument("--exhaustive", action="store_true")
+    p_verify.add_argument("--samples", type=int, default=200)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_query = sub.add_parser("query", help="distance/route query under faults")
+    p_query.add_argument("structure")
+    p_query.add_argument("--target", type=int, required=True)
+    p_query.add_argument("--source", type=int, default=None)
+    p_query.add_argument("--faults", default="", help="comma list like 0-29,1-22")
+    p_query.set_defaults(func=cmd_query)
+
+    p_info = sub.add_parser("info", help="summarize a saved structure")
+    p_info.add_argument("structure")
+    p_info.set_defaults(func=cmd_info)
+
+    p_lb = sub.add_parser("lowerbound", help="build/inspect G*_f (Thm 1.2)")
+    p_lb.add_argument("--n", type=int, required=True)
+    p_lb.add_argument("--f", type=int, default=2)
+    p_lb.add_argument("--sigma", type=int, default=1)
+    p_lb.add_argument("--check", type=int, default=0,
+                      help="verify this many forced-edge certificates")
+    p_lb.set_defaults(func=cmd_lowerbound)
+
+    p_exp = sub.add_parser(
+        "experiment", help="run an experiment benchmark (E1..E14 or 'all')"
+    )
+    p_exp.add_argument("id", help="experiment id, e.g. e1, E7, all")
+    p_exp.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Core substrate: graphs, paths, canonical shortest paths, BFS trees."""
+
+from repro.core.canonical import (
+    INF,
+    UNREACHED,
+    DistanceOracle,
+    LexShortestPaths,
+    PerturbedShortestPaths,
+    SearchResult,
+    bfs_distance,
+    bfs_distances,
+    eccentricity,
+    make_engine,
+)
+from repro.core.errors import (
+    ConstructionError,
+    DisconnectedError,
+    GraphError,
+    PathError,
+    ReproError,
+    VerificationError,
+)
+from repro.core.io import (
+    graph_from_text,
+    graph_to_text,
+    load_graph,
+    load_structure,
+    save_graph,
+    save_structure,
+    structure_from_json,
+    structure_to_json,
+)
+from repro.core.graph import Edge, Graph, graph_from_edges, normalize_edge, normalize_edges
+from repro.core.paths import Path, path_from_parents
+from repro.core.tree import BFSTree
+
+__all__ = [
+    "INF",
+    "UNREACHED",
+    "BFSTree",
+    "ConstructionError",
+    "DisconnectedError",
+    "DistanceOracle",
+    "Edge",
+    "Graph",
+    "GraphError",
+    "LexShortestPaths",
+    "Path",
+    "PathError",
+    "PerturbedShortestPaths",
+    "ReproError",
+    "SearchResult",
+    "VerificationError",
+    "bfs_distance",
+    "bfs_distances",
+    "eccentricity",
+    "graph_from_edges",
+    "graph_from_text",
+    "graph_to_text",
+    "load_graph",
+    "load_structure",
+    "make_engine",
+    "normalize_edge",
+    "normalize_edges",
+    "path_from_parents",
+    "save_graph",
+    "save_structure",
+    "structure_from_json",
+    "structure_to_json",
+]

@@ -1,0 +1,431 @@
+"""Canonical (unique) shortest paths — the paper's weight assignment ``W``.
+
+Every proof in the paper assumes a weight assignment ``W`` that breaks
+shortest-path ties consistently, so that ``SP(u, v, G', W)`` is a *unique*
+path for every subgraph ``G'`` and the choice is globally consistent
+(subpaths of chosen paths are themselves chosen).  This module supplies
+that abstraction with two interchangeable engines:
+
+``LexShortestPaths`` (default)
+    Computes, for every vertex, the lexicographically-minimal shortest
+    path by vertex sequence.  This is deterministic and exact, and it
+    satisfies the two properties the proofs actually consume:
+
+    * **uniqueness** — two distinct equal-length paths always differ in
+      their vertex sequences, so exactly one is canonical;
+    * **optimal substructure** — every prefix/suffix/infix of a
+      canonical path is the canonical path between its endpoints
+      (restricted to the same subgraph).
+
+``PerturbedShortestPaths``
+    A literal implementation of the paper's ``W``: Dijkstra over integer
+    weights ``W(e) = B + r_e`` where ``r_e`` are seeded 128-bit random
+    values and ``B`` is large enough that hop count always dominates.
+    Exact integer arithmetic; shortest paths are unique except with
+    probability ``≈ 2^-100``.
+
+Fault simulation is expressed with *banned* vertex/edge sets interpreted
+in the traversal inner loop — restricted graphs like ``G \\ F``,
+``G(u_k, u_l)`` (Eq. 3) and ``G_D(w_ℓ)`` (Eq. 4) never require copying
+the graph.
+
+The module also provides :func:`bfs_distances`, a fast stamped BFS used
+for the (tie-breaking-independent) distance feasibility checks that make
+up the bulk of Algorithm ``Cons2FTBFS``'s work.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from heapq import heappop, heappush
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import DisconnectedError, GraphError
+from repro.core.graph import Edge, Graph, normalize_edge
+from repro.core.paths import Path, path_from_parents
+
+UNREACHED = -1
+#: Distance value reported for unreachable vertices by convenience APIs.
+INF = float("inf")
+
+
+class SearchResult:
+    """Outcome of a single-source canonical shortest-path computation.
+
+    Exposes distances (in hops), canonical parents, and canonical path
+    extraction.  ``parent[source] == source``; unreached vertices have
+    ``parent == dist == -1`` internally and distance ``inf`` externally.
+    """
+
+    __slots__ = ("source", "_dist", "_parent")
+
+    def __init__(self, source: int, dist: List[int], parent: List[int]) -> None:
+        self.source = source
+        self._dist = dist
+        self._parent = parent
+
+    def reached(self, v: int) -> bool:
+        """True iff ``v`` is reachable from the source in the restriction."""
+        return self._dist[v] != UNREACHED
+
+    def dist(self, v: int) -> float:
+        """Hop distance to ``v`` (``inf`` if unreachable)."""
+        d = self._dist[v]
+        return INF if d == UNREACHED else d
+
+    def dist_or_unreached(self, v: int) -> int:
+        """Raw hop distance (``-1`` when unreachable); avoids float math."""
+        return self._dist[v]
+
+    def parent(self, v: int) -> int:
+        """Canonical BFS parent of ``v`` (``-1`` if unreached)."""
+        return self._parent[v]
+
+    def path(self, v: int) -> Path:
+        """The canonical source→``v`` path.
+
+        Raises :class:`DisconnectedError` when ``v`` is unreachable.
+        """
+        if self._dist[v] == UNREACHED:
+            raise DisconnectedError(
+                f"vertex {v} unreachable from {self.source} under restriction"
+            )
+        return path_from_parents(self._parent, v)
+
+    def reachable_vertices(self) -> List[int]:
+        """All vertices reached by the search, in vertex order."""
+        return [v for v, d in enumerate(self._dist) if d != UNREACHED]
+
+    def distances(self) -> List[int]:
+        """Raw distance list (``-1`` = unreachable); do not mutate."""
+        return self._dist
+
+
+def _normalize_banned_edges(banned_edges) -> Optional[Set[Edge]]:
+    if not banned_edges:
+        return None
+    out = set()
+    for e in banned_edges:
+        out.add(normalize_edge(e[0], e[1]))
+    return out
+
+
+def _normalize_banned_vertices(banned_vertices) -> Optional[Set[int]]:
+    if not banned_vertices:
+        return None
+    return set(banned_vertices)
+
+
+class LexShortestPaths:
+    """Layered BFS computing lexicographically-minimal shortest paths.
+
+    Within each BFS layer, vertices are ranked by the lexicographic
+    order of their canonical paths; the canonical parent of a next-layer
+    vertex is its minimum-rank predecessor, and next-layer ranks follow
+    ``(parent rank, vertex id)``.  This realizes the lex-min path for
+    every vertex in ``O(m + n log n)`` per source.
+    """
+
+    name = "lex"
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def search(
+        self,
+        source: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+        target: Optional[int] = None,
+    ) -> SearchResult:
+        """Run the canonical search from ``source`` under a restriction.
+
+        Parameters
+        ----------
+        banned_edges / banned_vertices:
+            The restriction (fault set and/or masked-out path vertices).
+            The source must not be banned.
+        target:
+            If given, the search stops once the layer containing
+            ``target`` is complete (its canonical parent is final).
+        """
+        g = self.graph
+        if not g.has_vertex(source):
+            raise GraphError(f"invalid source {source}")
+        be = _normalize_banned_edges(banned_edges)
+        bv = _normalize_banned_vertices(banned_vertices)
+        if bv is not None and source in bv:
+            raise GraphError(f"source {source} is banned")
+        adj = g.adjacency()
+        n = g.n
+        dist = [UNREACHED] * n
+        parent = [UNREACHED] * n
+        dist[source] = 0
+        parent[source] = source
+        layer = [source]
+        depth = 0
+        while layer:
+            depth += 1
+            # w -> (rank of first-seen parent, parent).  Iterating the
+            # current layer in rank order makes first-seen == min-rank.
+            cand: Dict[int, Tuple[int, int]] = {}
+            for rank_u, u in enumerate(layer):
+                for w in adj[u]:
+                    if dist[w] != UNREACHED or w in cand:
+                        continue
+                    if bv is not None and w in bv:
+                        continue
+                    if be is not None:
+                        e = (u, w) if u < w else (w, u)
+                        if e in be:
+                            continue
+                    cand[w] = (rank_u, u)
+            if not cand:
+                break
+            layer = sorted(cand, key=lambda w: (cand[w][0], w))
+            for w in layer:
+                dist[w] = depth
+                parent[w] = cand[w][1]
+            if target is not None and dist[target] != UNREACHED:
+                break
+        return SearchResult(source, dist, parent)
+
+    def canonical_path(
+        self,
+        source: int,
+        target: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> Path:
+        """``SP(source, target, G', W)``: the unique canonical path."""
+        res = self.search(source, banned_edges, banned_vertices, target=target)
+        return res.path(target)
+
+
+class PerturbedShortestPaths:
+    """Dijkstra over ``W(e) = B + r_e`` with exact integer arithmetic.
+
+    ``r_e`` are 128-bit values drawn from a seeded PRNG, and
+    ``B = (n + 1) · 2^128`` so that hop count strictly dominates any sum
+    of perturbations.  With these weights all shortest paths are unique
+    except with negligible probability, realizing the paper's ``W``
+    verbatim.
+    """
+
+    name = "perturbed"
+    _R_BITS = 128
+
+    def __init__(self, graph: Graph, seed: int = 0x5EED) -> None:
+        self.graph = graph
+        self.seed = seed
+        rng = random.Random(seed)
+        base = 1 << self._R_BITS
+        self._big = (graph.n + 1) * base
+        # Perturbations are drawn lazily-deterministically per edge so the
+        # assignment is stable under graph iteration order.
+        self._r: Dict[Edge, int] = {}
+        for e in sorted(graph.edges()):
+            self._r[e] = rng.getrandbits(self._R_BITS)
+
+    def weight(self, u: int, v: int) -> int:
+        """The exact integer weight of edge ``{u, v}``."""
+        return self._big + self._r[normalize_edge(u, v)]
+
+    def path_weight(self, path: Path) -> int:
+        """Total ``W``-weight of a path (0 for a single vertex)."""
+        return sum(self.weight(u, v) for u, v in path.directed_edges())
+
+    def search(
+        self,
+        source: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+        target: Optional[int] = None,
+    ) -> SearchResult:
+        """Dijkstra from ``source`` under a restriction (see LexShortestPaths)."""
+        g = self.graph
+        if not g.has_vertex(source):
+            raise GraphError(f"invalid source {source}")
+        be = _normalize_banned_edges(banned_edges)
+        bv = _normalize_banned_vertices(banned_vertices)
+        if bv is not None and source in bv:
+            raise GraphError(f"source {source} is banned")
+        adj = g.adjacency()
+        n = g.n
+        big = self._big
+        r = self._r
+        cost: List[Optional[int]] = [None] * n
+        parent = [UNREACHED] * n
+        done = [False] * n
+        cost[source] = 0
+        parent[source] = source
+        heap: List[Tuple[int, int]] = [(0, source)]
+        while heap:
+            cu, u = heappop(heap)
+            if done[u] or cost[u] != cu:
+                continue
+            done[u] = True
+            if target is not None and u == target:
+                break
+            for w in adj[u]:
+                if done[w]:
+                    continue
+                if bv is not None and w in bv:
+                    continue
+                e = (u, w) if u < w else (w, u)
+                if be is not None and e in be:
+                    continue
+                cw = cu + big + r[e]
+                if cost[w] is None or cw < cost[w]:
+                    cost[w] = cw
+                    parent[w] = u
+                    heappush(heap, (cw, w))
+        dist = [
+            UNREACHED if (c is None or not done[v]) else c // big
+            for v, c in enumerate(cost)
+        ]
+        # With a target we may have stopped early; vertices already
+        # settled keep exact distances, unsettled ones report unreached.
+        return SearchResult(source, dist, parent)
+
+    def canonical_path(
+        self,
+        source: int,
+        target: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> Path:
+        """``SP(source, target, G', W)``: the unique canonical path."""
+        res = self.search(source, banned_edges, banned_vertices, target=target)
+        return res.path(target)
+
+
+#: Registry of available engines, keyed by their ``name``.
+ENGINES = {
+    LexShortestPaths.name: LexShortestPaths,
+    PerturbedShortestPaths.name: PerturbedShortestPaths,
+}
+
+
+def make_engine(graph: Graph, engine: str = "lex", **kwargs):
+    """Instantiate a shortest-path engine by name (``lex`` / ``perturbed``)."""
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise GraphError(
+            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return cls(graph, **kwargs)
+
+
+class DistanceOracle:
+    """Fast repeated plain-BFS distance queries on one graph.
+
+    Tie-breaking does not affect distances, so all feasibility checks in
+    the constructions use this stamped BFS rather than the canonical
+    engines.  Buffers are allocated once and reused via a visit stamp,
+    which keeps each query allocation-free.
+    """
+
+    __slots__ = ("graph", "_adj", "_stamp", "_mark", "_dist", "_queue")
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._adj = graph.adjacency()
+        n = graph.n
+        self._stamp = 0
+        self._mark = [0] * n
+        self._dist = [0] * n
+        self._queue: deque = deque()
+
+    def distance(
+        self,
+        source: int,
+        target: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> float:
+        """Hop distance source→target under a restriction (inf if cut)."""
+        d = self._run(source, banned_edges, banned_vertices, target)
+        return INF if d is None else d
+
+    def distances_from(
+        self,
+        source: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> List[int]:
+        """All hop distances from ``source`` (``-1`` = unreachable).
+
+        Returns a fresh list safe to keep.
+        """
+        self._run(source, banned_edges, banned_vertices, None)
+        stamp = self._stamp
+        mark = self._mark
+        dist = self._dist
+        return [dist[v] if mark[v] == stamp else UNREACHED for v in range(self.graph.n)]
+
+    def _run(self, source, banned_edges, banned_vertices, target) -> Optional[int]:
+        be = _normalize_banned_edges(banned_edges)
+        bv = _normalize_banned_vertices(banned_vertices)
+        # The stamp must advance even on the banned-source early exit,
+        # otherwise distances_from() would read the previous query's marks.
+        self._stamp += 1
+        stamp = self._stamp
+        if bv is not None and source in bv:
+            return None
+        adj = self._adj
+        mark = self._mark
+        dist = self._dist
+        q = self._queue
+        q.clear()
+        mark[source] = stamp
+        dist[source] = 0
+        if target == source:
+            return 0
+        q.append(source)
+        while q:
+            u = q.popleft()
+            du = dist[u] + 1
+            for w in adj[u]:
+                if mark[w] == stamp:
+                    continue
+                if bv is not None and w in bv:
+                    continue
+                if be is not None:
+                    e = (u, w) if u < w else (w, u)
+                    if e in be:
+                        continue
+                mark[w] = stamp
+                dist[w] = du
+                if w == target:
+                    return du
+                q.append(w)
+        return None if target is not None else -2
+
+
+def bfs_distances(
+    graph: Graph,
+    source: int,
+    banned_edges: Iterable[Sequence[int]] = (),
+    banned_vertices: Iterable[int] = (),
+) -> List[int]:
+    """One-shot plain BFS distance vector (``-1`` = unreachable)."""
+    return DistanceOracle(graph).distances_from(source, banned_edges, banned_vertices)
+
+
+def bfs_distance(
+    graph: Graph,
+    source: int,
+    target: int,
+    banned_edges: Iterable[Sequence[int]] = (),
+    banned_vertices: Iterable[int] = (),
+) -> float:
+    """One-shot plain BFS point-to-point distance (``inf`` if cut)."""
+    return DistanceOracle(graph).distance(source, target, banned_edges, banned_vertices)
+
+
+def eccentricity(graph: Graph, source: int) -> int:
+    """Maximum finite hop distance from ``source`` (its BFS depth)."""
+    return max(d for d in bfs_distances(graph, source) if d != UNREACHED)

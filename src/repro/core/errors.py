@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch everything raised by this package with a single ``except``
+clause while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems with a :class:`repro.core.graph.Graph`.
+
+    Examples: referencing a vertex outside ``range(n)``, adding a self
+    loop, or asking for an edge that does not exist.
+    """
+
+
+class PathError(ReproError):
+    """Raised for invalid :class:`repro.core.paths.Path` operations.
+
+    Examples: concatenating paths whose endpoints do not meet, taking a
+    subpath between vertices that do not lie on the path, or building a
+    path whose consecutive vertices are not adjacent in the host graph.
+    """
+
+
+class DisconnectedError(ReproError):
+    """Raised when a required path does not exist.
+
+    The library usually reports unreachable vertices with an infinite
+    distance rather than raising; this error is reserved for call sites
+    where the caller *asserted* reachability (e.g. extracting the
+    canonical path to a vertex that a fault set disconnected).
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when a claimed fault-tolerant structure fails verification.
+
+    Carries the witness ``(vertex, fault_set)`` pair demonstrating the
+    violation, when available.
+    """
+
+    def __init__(self, message, vertex=None, faults=None):
+        super().__init__(message)
+        self.vertex = vertex
+        self.faults = tuple(faults) if faults is not None else None
+
+
+class ConstructionError(ReproError):
+    """Raised when an algorithm cannot complete a construction.
+
+    This signals a genuine bug or violated precondition (e.g. the
+    binary search of Algorithm ``Cons2FTBFS`` finding no feasible
+    divergence point, which Claim 3.5 proves cannot happen), so it
+    should never be silenced.
+    """

@@ -1,0 +1,268 @@
+"""Undirected, unweighted graph substrate.
+
+The whole paper operates on simple undirected unweighted graphs
+``G = (V, E)`` with ``V = {0, ..., n-1}``.  This module provides the one
+graph type used everywhere in :mod:`repro`:
+
+* vertices are dense integers, so per-vertex state lives in plain lists;
+* an edge is the normalized tuple ``(min(u, v), max(u, v))`` — the same
+  convention is used for fault sets, structure edge sets and results;
+* fault simulation never copies the graph: traversals accept *banned*
+  edge/vertex sets (see :mod:`repro.core.canonical`).
+
+The class is deliberately small and explicit; fancier graph machinery
+(views, attributes, weights) is not needed by the paper and is omitted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.errors import GraphError
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical representation of the undirected edge ``{u, v}``.
+
+    Edges are stored and compared as ``(min(u, v), max(u, v))`` tuples
+    throughout the library.
+
+    >>> normalize_edge(3, 1)
+    (1, 3)
+    """
+    if u == v:
+        raise GraphError(f"self loop ({u}, {v}) is not a valid edge")
+    return (u, v) if u < v else (v, u)
+
+
+def normalize_edges(edges: Iterable[Sequence[int]]) -> FrozenSet[Edge]:
+    """Normalize an iterable of edge-like pairs into a frozenset of edges."""
+    return frozenset(normalize_edge(e[0], e[1]) for e in edges)
+
+
+class Graph:
+    """A simple undirected, unweighted graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to add immediately.
+
+    Notes
+    -----
+    The graph is mutable while being built (:meth:`add_edge`,
+    :meth:`add_vertex`) and is treated as immutable by all algorithms.
+    Adjacency lists are kept sorted on demand (:meth:`finalize`) because
+    the canonical shortest-path engine wants deterministic neighbor
+    iteration order; ``add_edge`` marks the graph dirty and any traversal
+    re-sorts lazily.
+    """
+
+    __slots__ = ("_adj", "_edges", "_sorted")
+
+    def __init__(self, n: int = 0, edges: Iterable[Sequence[int]] = ()) -> None:
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self._adj: List[List[int]] = [[] for _ in range(n)]
+        self._edges: Set[Edge] = set()
+        self._sorted = True
+        for e in edges:
+            self.add_edge(e[0], e[1])
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Append a fresh vertex and return its id."""
+        self._adj.append([])
+        return len(self._adj) - 1
+
+    def add_vertices(self, count: int) -> List[int]:
+        """Append ``count`` fresh vertices, returning their ids."""
+        if count < 0:
+            raise GraphError(f"cannot add {count} vertices")
+        return [self.add_vertex() for _ in range(count)]
+
+    def add_edge(self, u: int, v: int) -> Edge:
+        """Add the undirected edge ``{u, v}``; idempotent.
+
+        Returns the normalized edge tuple.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        e = normalize_edge(u, v)
+        if e not in self._edges:
+            self._edges.add(e)
+            self._adj[u].append(v)
+            self._adj[v].append(u)
+            self._sorted = False
+        return e
+
+    def add_path(self, vertices: Sequence[int]) -> List[Edge]:
+        """Add edges forming the path ``vertices[0] - ... - vertices[-1]``."""
+        return [self.add_edge(a, b) for a, b in zip(vertices, vertices[1:])]
+
+    def finalize(self) -> "Graph":
+        """Sort adjacency lists in place (idempotent); returns ``self``."""
+        if not self._sorted:
+            for lst in self._adj:
+                lst.sort()
+            self._sorted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def vertices(self) -> range:
+        """Iterate vertex ids ``0..n-1``."""
+        return range(len(self._adj))
+
+    def edges(self) -> FrozenSet[Edge]:
+        """The edge set, as normalized tuples."""
+        return frozenset(self._edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the undirected edge ``{u, v}`` is present."""
+        if u == v:
+            return False
+        return normalize_edge(u, v) in self._edges
+
+    def has_vertex(self, v: int) -> bool:
+        """True iff ``v`` is a valid vertex id."""
+        return 0 <= v < len(self._adj)
+
+    def neighbors(self, v: int) -> List[int]:
+        """Sorted neighbor list of ``v`` (``Γ(v, G)`` in the paper)."""
+        self._check_vertex(v)
+        self.finalize()
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """``deg(v, G)``: number of edges incident to ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def incident_edges(self, v: int) -> List[Edge]:
+        """``E(v, G)``: the normalized edges incident to ``v``."""
+        return [normalize_edge(v, w) for w in self.neighbors(v)]
+
+    def adjacency(self) -> List[List[int]]:
+        """The raw (sorted) adjacency structure; do not mutate."""
+        self.finalize()
+        return self._adj
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """An independent copy of this graph."""
+        g = Graph(self.n)
+        for (u, v) in self._edges:
+            g.add_edge(u, v)
+        return g
+
+    def without_edges(self, banned: Iterable[Sequence[int]]) -> "Graph":
+        """A copy of this graph with the given edges removed.
+
+        Algorithms should prefer banned-set traversal; this exists for
+        tests and one-off constructions.
+        """
+        banned_set = normalize_edges(banned)
+        g = Graph(self.n)
+        for e in self._edges:
+            if e not in banned_set:
+                g.add_edge(*e)
+        return g
+
+    def edge_subgraph(self, keep: Iterable[Sequence[int]]) -> "Graph":
+        """A graph on the same vertex set containing only ``keep`` edges."""
+        keep_set = normalize_edges(keep)
+        missing = keep_set - self._edges
+        if missing:
+            raise GraphError(f"edges not present in graph: {sorted(missing)[:5]}")
+        g = Graph(self.n)
+        for e in keep_set:
+            g.add_edge(*e)
+        return g
+
+    # ------------------------------------------------------------------
+    # connectivity helpers (used by tests and generators)
+    # ------------------------------------------------------------------
+    def connected_component(self, start: int) -> Set[int]:
+        """The vertex set of the connected component containing ``start``."""
+        self._check_vertex(start)
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for w in self._adj[u]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return seen
+
+    def is_connected(self) -> bool:
+        """True iff the graph has a single connected component (or n <= 1)."""
+        if self.n <= 1:
+            return True
+        return len(self.connected_component(0)) == self.n
+
+    # ------------------------------------------------------------------
+    # dunder / misc
+    # ------------------------------------------------------------------
+    def __contains__(self, item) -> bool:
+        """``v in g`` for a vertex id, ``(u, v) in g`` for an edge."""
+        if isinstance(item, tuple) and len(item) == 2:
+            return self.has_edge(item[0], item[1])
+        if isinstance(item, int):
+            return self.has_vertex(item)
+        return False
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and self._edges == other._edges
+
+    def __hash__(self):
+        raise TypeError("Graph is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not (isinstance(v, int) and 0 <= v < len(self._adj)):
+            raise GraphError(f"invalid vertex {v!r} for graph with n={self.n}")
+
+
+def graph_from_edges(edges: Iterable[Sequence[int]]) -> Graph:
+    """Build a graph sized to fit the largest endpoint mentioned.
+
+    >>> g = graph_from_edges([(0, 1), (1, 4)])
+    >>> (g.n, g.m)
+    (5, 2)
+    """
+    edge_list = [tuple(e) for e in edges]
+    n = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+    return Graph(n, edge_list)
+
+
+def union_edge_sets(*edge_sets: Iterable[Edge]) -> Set[Edge]:
+    """Union of several normalized edge collections (helper for builders)."""
+    out: Set[Edge] = set()
+    for es in edge_sets:
+        out.update(es)
+    return out

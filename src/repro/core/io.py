@@ -1,0 +1,124 @@
+"""Serialization for graphs and fault-tolerant structures.
+
+Two formats:
+
+* **edge-list text** — one ``u v`` pair per line with a ``# n=<n>``
+  header; lowest-common-denominator interchange for graphs;
+* **structure JSON** — a self-contained record of an
+  :class:`~repro.ftbfs.structures.FTStructure`: the host graph, sources,
+  fault budget, builder name and the structure edge set (stats are
+  preserved when they are JSON-serializable, dropped otherwise).
+
+Round-tripping is exact and covered by tests; loading re-validates the
+structure edges against the host graph.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FsPath
+from typing import Union
+
+from repro.core.errors import GraphError
+from repro.core.graph import Graph
+from repro.ftbfs.structures import FTStructure, make_structure
+
+PathLike = Union[str, FsPath]
+
+FORMAT_VERSION = 1
+
+
+def graph_to_text(graph: Graph) -> str:
+    """Serialize a graph as an edge-list with an ``# n=`` header."""
+    lines = [f"# n={graph.n}"]
+    lines.extend(f"{u} {v}" for u, v in sorted(graph.edges()))
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_text(text: str) -> Graph:
+    """Parse :func:`graph_to_text` output (comments/blank lines ignored)."""
+    n = None
+    edges = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("n="):
+                n = int(body[2:])
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"line {lineno}: expected 'u v', got {raw!r}")
+        edges.append((int(parts[0]), int(parts[1])))
+    if n is None:
+        n = 1 + max((max(e) for e in edges), default=-1)
+    return Graph(n, edges).finalize()
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write a graph to an edge-list file."""
+    FsPath(path).write_text(graph_to_text(graph))
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Read a graph from an edge-list file."""
+    return graph_from_text(FsPath(path).read_text())
+
+
+def _jsonable_stats(stats: dict) -> dict:
+    out = {}
+    for key, value in stats.items():
+        try:
+            json.dumps({key: value})
+        except (TypeError, ValueError):
+            continue
+        out[key] = value
+    return out
+
+
+def structure_to_json(structure: FTStructure) -> str:
+    """Serialize a structure (including its host graph) as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "n": structure.graph.n,
+        "graph_edges": sorted(structure.graph.edges()),
+        "sources": list(structure.sources),
+        "max_faults": structure.max_faults,
+        "builder": structure.builder,
+        "structure_edges": sorted(structure.edges),
+        "stats": _jsonable_stats(structure.stats),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def structure_from_json(text: str) -> FTStructure:
+    """Parse :func:`structure_to_json` output, re-validating edges."""
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise GraphError(f"unsupported structure format version {version!r}")
+    graph = Graph(payload["n"], payload["graph_edges"]).finalize()
+    structure_edges = [tuple(e) for e in payload["structure_edges"]]
+    for e in structure_edges:
+        if not graph.has_edge(*e):
+            raise GraphError(f"structure edge {e} not present in host graph")
+    return make_structure(
+        graph,
+        payload["sources"],
+        payload["max_faults"],
+        structure_edges,
+        payload["builder"],
+        stats=payload.get("stats", {}),
+    )
+
+
+def save_structure(structure: FTStructure, path: PathLike) -> None:
+    """Write a structure JSON file."""
+    FsPath(path).write_text(structure_to_json(structure))
+
+
+def load_structure(path: PathLike) -> FTStructure:
+    """Read a structure JSON file."""
+    return structure_from_json(FsPath(path).read_text())

@@ -1,0 +1,62 @@
+"""Fault-tolerant BFS structure builders, verification, and queries."""
+
+from repro.ftbfs.approx import build_approx_ftmbfs, optimum_bounds
+from repro.ftbfs.cons2ftbfs import VertexRecord, build_cons2ftbfs, new_edge_profile
+from repro.ftbfs.diameter import ft_diameter, observation_1_6_bound
+from repro.ftbfs.generic import build_dense_union, build_ft_mbfs, build_generic_ftbfs
+from repro.ftbfs.oracle import FTQueryOracle
+from repro.ftbfs.sensitivity import (
+    DualFaultDistanceOracle,
+    SingleFaultDistanceOracle,
+)
+from repro.ftbfs.simple_dual import build_dual_ftbfs_simple
+from repro.ftbfs.single_failure import build_single_ftbfs
+from repro.ftbfs.structures import FTStructure, make_structure
+from repro.ftbfs.vertex import (
+    VertexFTQueryOracle,
+    all_vertex_fault_sets,
+    build_generic_vertex_ftbfs,
+    build_single_vertex_ftbfs,
+    find_vertex_violation,
+    verify_vertex_structure,
+)
+from repro.ftbfs.verify import (
+    edge_is_necessary,
+    find_violation,
+    is_ft_mbfs,
+    prune_to_minimal,
+    verify_structure,
+    verify_structure_sampled,
+)
+
+__all__ = [
+    "DualFaultDistanceOracle",
+    "FTQueryOracle",
+    "FTStructure",
+    "SingleFaultDistanceOracle",
+    "VertexFTQueryOracle",
+    "VertexRecord",
+    "all_vertex_fault_sets",
+    "build_approx_ftmbfs",
+    "build_cons2ftbfs",
+    "build_dense_union",
+    "build_dual_ftbfs_simple",
+    "build_ft_mbfs",
+    "build_generic_ftbfs",
+    "build_generic_vertex_ftbfs",
+    "build_single_ftbfs",
+    "build_single_vertex_ftbfs",
+    "edge_is_necessary",
+    "find_violation",
+    "find_vertex_violation",
+    "ft_diameter",
+    "is_ft_mbfs",
+    "make_structure",
+    "new_edge_profile",
+    "observation_1_6_bound",
+    "optimum_bounds",
+    "prune_to_minimal",
+    "verify_structure",
+    "verify_structure_sampled",
+    "verify_vertex_structure",
+]

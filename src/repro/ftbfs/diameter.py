@@ -1,0 +1,49 @@
+"""Fault-tolerant diameter and the Observation 1.6 size bound.
+
+``D_f(G) = max{dist(s, v, G \\ F) : F ⊆ E, |F| ≤ f − 1}`` is the
+f-FT-diameter with respect to a source ``s`` (maximizing over targets
+and fault sets that keep the target reachable).  Observation 1.6: graphs
+of small FT-diameter admit f-failure FT-BFS structures with
+``O(D_f(G)^f · n)`` edges, because each target sees at most
+``D_f(G)^f`` relevant fault sets, each contributing one last edge.
+
+Experiment E5 compares the actual size of the exact generic structure
+against this bound on dense (small-diameter) graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.core.canonical import DistanceOracle, UNREACHED
+from repro.core.graph import Edge, Graph
+from repro.generators.workloads import all_fault_sets
+
+
+def ft_diameter(graph: Graph, source: int, max_faults: int) -> int:
+    """``D_f(G)`` w.r.t. ``source``: exact, over all ``|F| ≤ f − 1``.
+
+    Unreachable (source, target, F) combinations are ignored, matching
+    the convention that disconnection imposes no distance requirement.
+    Cost: ``O(m^{f-1})`` BFS runs.
+    """
+    oracle = DistanceOracle(graph)
+    best = 0
+    fault_sets: Iterable[Tuple[Edge, ...]] = [()]
+    if max_faults >= 2:
+        fault_sets = itertools.chain(
+            [()], all_fault_sets(graph, max_faults - 1)
+        )
+    for faults in fault_sets:
+        dist = oracle.distances_from(source, banned_edges=faults)
+        finite = [d for d in dist if d != UNREACHED]
+        if finite:
+            best = max(best, max(finite))
+    return best
+
+
+def observation_1_6_bound(graph: Graph, source: int, max_faults: int) -> int:
+    """The ``O(D_f^f · n)`` bound value (with constant 1) of Obs. 1.6."""
+    d = ft_diameter(graph, source, max_faults)
+    return max(1, d) ** max_faults * graph.n

@@ -1,0 +1,80 @@
+"""Query interface over a stored fault-tolerant structure.
+
+Once an FT-BFS structure ``H`` has been purchased/leased (the paper's
+network-design motivation), routing queries are answered *from H alone*:
+``dist(s, v, H \\ F)`` equals ``dist(s, v, G \\ F)`` for any fault set
+within budget, and shortest surviving routes can be extracted without
+consulting the full graph.  :class:`FTQueryOracle` packages that usage
+mode and is the subject of experiment E10.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.core.canonical import DistanceOracle, LexShortestPaths
+from repro.core.errors import GraphError
+from repro.core.graph import Edge, Graph
+from repro.core.paths import Path
+from repro.ftbfs.structures import FTStructure
+
+
+class FTQueryOracle:
+    """Distance/path queries against a stored structure ``H``.
+
+    Parameters
+    ----------
+    structure:
+        Any :class:`~repro.ftbfs.structures.FTStructure`.
+
+    Notes
+    -----
+    Queries with more faults than the structure's budget are refused
+    (:class:`GraphError`) — beyond budget the equality with ``G`` is
+    not guaranteed and silently wrong answers would be worse than an
+    error.
+    """
+
+    def __init__(self, structure: FTStructure) -> None:
+        self.structure = structure
+        self._h = structure.subgraph()
+        self._dist = DistanceOracle(self._h)
+        self._paths = LexShortestPaths(self._h)
+
+    @property
+    def max_faults(self) -> int:
+        """The fault budget ``f`` of the underlying structure."""
+        return self.structure.max_faults
+
+    def _check(self, source: int, faults: Sequence[Sequence[int]]) -> None:
+        if source not in self.structure.sources:
+            raise GraphError(
+                f"{source} is not a source of this structure "
+                f"(sources: {self.structure.sources})"
+            )
+        if len(faults) > self.max_faults:
+            raise GraphError(
+                f"{len(faults)} faults exceed the structure's budget "
+                f"f={self.max_faults}"
+            )
+
+    def distance(
+        self, source: int, target: int, faults: Sequence[Sequence[int]] = ()
+    ) -> float:
+        """``dist(source, target, H \\ F)`` (``inf`` when disconnected)."""
+        self._check(source, faults)
+        return self._dist.distance(source, target, banned_edges=faults)
+
+    def path(
+        self, source: int, target: int, faults: Sequence[Sequence[int]] = ()
+    ) -> Path:
+        """A shortest surviving route inside ``H`` under ``F``."""
+        self._check(source, faults)
+        return self._paths.canonical_path(source, target, banned_edges=faults)
+
+    def batch_distances(
+        self, source: int, faults: Sequence[Sequence[int]] = ()
+    ) -> list:
+        """Distances from ``source`` to every vertex under ``F``."""
+        self._check(source, faults)
+        return self._dist.distances_from(source, banned_edges=faults)

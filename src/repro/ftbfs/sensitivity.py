@@ -1,0 +1,126 @@
+"""Single-source distance *sensitivity oracles* (the [5, 2, 8] lineage).
+
+The paper situates FT-BFS structures next to *f-sensitivity distance
+oracles*: data structures answering ``dist(s, v, G \\ F)`` queries
+quickly after polynomial preprocessing.  This module implements the
+single-source flavors the introduction discusses:
+
+* :class:`SingleFaultDistanceOracle` — exact 1-sensitivity queries in
+  ``O(1)`` after ``O(n · m)`` preprocessing: one BFS per tree edge,
+  tabulating the replacement distances (non-tree faults never change
+  single-source distances).
+* :class:`DualFaultDistanceOracle` — 2-sensitivity queries answered
+  from a *sparse* dual-failure FT-BFS structure: preprocessing builds
+  ``Cons2FTBFS`` once; each query is one BFS over ``H`` (cheaper than
+  over ``G`` exactly when the structure is sparse), with the 0/1-fault
+  fast paths delegated to the table oracle.
+
+Both are exact and are validated against brute force in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.canonical import INF, UNREACHED, DistanceOracle
+from repro.core.errors import GraphError
+from repro.core.graph import Edge, Graph, normalize_edge
+from repro.core.tree import BFSTree
+from repro.ftbfs.cons2ftbfs import build_cons2ftbfs
+from repro.ftbfs.structures import FTStructure
+
+
+class SingleFaultDistanceOracle:
+    """O(1) exact ``dist(s, v, G \\ {e})`` queries after O(n·m) preprocessing.
+
+    Space is ``O(n)`` per tree edge (``O(n^2)`` total) — the classic
+    tabulation trade-off of the single-failure sensitivity oracles the
+    paper cites.
+    """
+
+    def __init__(self, graph: Graph, source: int, engine=None) -> None:
+        self.graph = graph
+        self.source = source
+        self.tree = BFSTree(graph, source, engine)
+        self._base = DistanceOracle(graph).distances_from(source)
+        self._tables: Dict[Edge, List[int]] = {}
+        oracle = DistanceOracle(graph)
+        for e in sorted(self.tree.edges()):
+            self._tables[e] = oracle.distances_from(source, banned_edges=(e,))
+        # per-target sets of pi-edges for the O(1) relevance test
+        self._pi_edges: List[Optional[set]] = [None] * graph.n
+        for v in self.tree.vertices():
+            self._pi_edges[v] = self.tree.pi(v).edge_set()
+
+    @property
+    def preprocessing_tables(self) -> int:
+        """Number of tabulated fault scenarios (== tree edges)."""
+        return len(self._tables)
+
+    def distance(self, v: int, fault: Optional[Sequence[int]] = None) -> float:
+        """``dist(s, v, G \\ {fault})`` (``inf`` when disconnected)."""
+        if not self.graph.has_vertex(v):
+            raise GraphError(f"invalid vertex {v}")
+        base = self._base[v]
+        if base == UNREACHED:
+            return INF
+        if fault is None:
+            return base
+        e = normalize_edge(fault[0], fault[1])
+        pi_edges = self._pi_edges[v]
+        if pi_edges is None or e not in pi_edges:
+            # fault off the canonical shortest path: distance unchanged
+            return base
+        d = self._tables[e][v]
+        return INF if d == UNREACHED else d
+
+
+class DualFaultDistanceOracle:
+    """Exact 2-sensitivity queries from a sparse FT-BFS structure.
+
+    Preprocessing builds (or accepts) a dual-failure FT-BFS structure
+    ``H``; two-fault queries BFS over ``H \\ F`` (correct because ``H``
+    preserves all ≤2-fault distances), zero/one-fault queries use the
+    O(1) table oracle.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        source: int,
+        structure: Optional[FTStructure] = None,
+        engine=None,
+    ) -> None:
+        self.graph = graph
+        self.source = source
+        if structure is None:
+            structure = build_cons2ftbfs(graph, source, engine)
+        if structure.max_faults < 2:
+            raise GraphError(
+                f"need an f>=2 structure, got f={structure.max_faults}"
+            )
+        if source not in structure.sources:
+            raise GraphError(f"structure does not cover source {source}")
+        self.structure = structure
+        self._single = SingleFaultDistanceOracle(graph, source, engine)
+        self._h_oracle = DistanceOracle(structure.subgraph())
+
+    @property
+    def structure_size(self) -> int:
+        """``|E(H)|`` — the per-query BFS workload."""
+        return self.structure.size
+
+    def distance(self, v: int, faults: Sequence[Sequence[int]] = ()) -> float:
+        """``dist(s, v, G \\ F)`` for ``|F| ≤ 2``."""
+        faults = [normalize_edge(f[0], f[1]) for f in faults]
+        if len(faults) > 2:
+            raise GraphError(f"{len(faults)} faults exceed the oracle's budget")
+        if not faults:
+            return self._single.distance(v)
+        if len(faults) == 1:
+            return self._single.distance(v, faults[0])
+        return self._h_oracle.distance(self.source, v, banned_edges=faults)
+
+    def batch(self, queries: Sequence[Tuple[int, Sequence]]) -> List[float]:
+        """Answer ``(v, faults)`` queries in bulk."""
+        return [self.distance(v, faults) for v, faults in queries]

@@ -1,0 +1,80 @@
+"""Un-tuned exact dual-failure FT-BFS builder (ablation baseline).
+
+This builder keeps the *sparsification idea* of Algorithm ``Cons2FTBFS``
+(only last edges of replacement paths enter the structure) but drops all
+of its selection preferences: every replacement path is simply the
+canonical ``SP(s, v, G \\ F, W)``.
+
+Correctness rests on the last-edge coverage property (the engine of the
+paper's Lemma 3.2 / Lemma 5.1 induction): a structure ``H ⊇ T0`` is an
+f-failure FT-BFS as soon as, for every ``v`` and every fault set ``F``
+leaving ``v`` reachable, *some* shortest path in ``SP(s, v, G \\ F)``
+ends with an edge of ``H``.  The enumeration below guarantees coverage:
+
+* ``F ∩ π(s, v) = ∅`` — ``π(s, v) ⊆ T0`` survives;
+* ``F = {e}`` with ``e ∈ π(s, v)`` — the stored ``P_{s,v,{e}}``;
+* ``F = {e, t}``, ``e ∈ π(s, v)`` — if ``t ∉ P_{s,v,{e}}`` the stored
+  single-failure path survives, otherwise the pair ``{e, t}`` with
+  ``t ∈ E(P_{s,v,{e}})`` is enumerated explicitly.
+
+Comparing this builder's output size against ``Cons2FTBFS`` isolates the
+contribution of the divergence-point preferences (experiment E11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core.canonical import INF, UNREACHED
+from repro.core.graph import Edge, Graph, normalize_edge
+from repro.ftbfs.structures import FTStructure, make_structure
+from repro.replacement.base import SourceContext
+
+
+def build_dual_ftbfs_simple(
+    graph: Graph, source: int, engine=None
+) -> FTStructure:
+    """Exact dual-failure FT-BFS via canonical last-edge collection.
+
+    ``stats`` records per-phase edge additions and search counts.
+    """
+    ctx = SourceContext(graph, source, engine)
+    tree = ctx.tree
+    edges: Set[Edge] = set(tree.edges())
+    tree_edges = len(edges)
+    searches = 0
+    pair_count = 0
+    for v in tree.vertices():
+        if v == source:
+            continue
+        pi_path = ctx.pi(v)
+        for eu, ew in pi_path.directed_edges():
+            e = normalize_edge(eu, ew)
+            res1 = ctx.engine.search(source, banned_edges=(e,), target=v)
+            searches += 1
+            if res1.dist_or_unreached(v) == UNREACHED:
+                continue  # bridge: every superset of {e} also disconnects v
+            p1 = res1.path(v)
+            edges.add(p1.last_edge())
+            for t in p1.edges():
+                if t == e:
+                    continue
+                pair_count += 1
+                res2 = ctx.engine.search(source, banned_edges=(e, t), target=v)
+                searches += 1
+                if res2.dist_or_unreached(v) == UNREACHED:
+                    continue
+                edges.add(normalize_edge(res2.parent(v), v))
+    return make_structure(
+        graph,
+        (source,),
+        2,
+        edges,
+        builder="simple-dual-ftbfs",
+        stats={
+            "tree_edges": tree_edges,
+            "new_edges": len(edges) - tree_edges,
+            "searches": searches,
+            "fault_pairs": pair_count,
+        },
+    )

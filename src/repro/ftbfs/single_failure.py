@@ -1,0 +1,59 @@
+"""Single-failure FT-BFS construction (the [10] baseline, ``O(n^{3/2})``).
+
+For every failing tree edge ``e`` and every affected target ``v`` (those
+below ``e`` in ``T0``), the structure keeps the *last edge* of the
+canonical replacement path ``SP(s, v, G \\ e, W)``; together with ``T0``
+this is a single-failure FT-BFS structure, and [10] bounds its size by
+``O(n^{3/2})`` (tight).
+
+Only tree-edge failures matter: a fault off ``π(s, v)`` leaves
+``π(s, v)`` intact.  One canonical search per tree edge serves all
+affected targets simultaneously, so the whole construction costs
+``n - 1`` searches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.canonical import UNREACHED
+from repro.core.graph import Edge, Graph, normalize_edge
+from repro.ftbfs.structures import FTStructure, make_structure
+from repro.replacement.base import SourceContext
+
+
+def build_single_ftbfs(
+    graph: Graph, source: int, engine=None
+) -> FTStructure:
+    """Construct a single-failure FT-BFS structure rooted at ``source``.
+
+    Returns an :class:`~repro.ftbfs.structures.FTStructure` with
+    ``stats['new_edges']`` (edges beyond ``T0``) and
+    ``stats['searches']`` (canonical searches performed).
+    """
+    ctx = SourceContext(graph, source, engine)
+    tree = ctx.tree
+    edges: Set[Edge] = set(tree.edges())
+    tree_edge_count = len(edges)
+    searches = 0
+    for e in sorted(tree.edges()):
+        result = ctx.engine.search(source, banned_edges=(e,))
+        searches += 1
+        for v in tree.subtree_below_edge(e):
+            if result.dist_or_unreached(v) == UNREACHED:
+                continue
+            p = result.parent(v)
+            if p != v:
+                edges.add(normalize_edge(p, v))
+    return make_structure(
+        graph,
+        (source,),
+        1,
+        edges,
+        builder="single-ftbfs",
+        stats={
+            "new_edges": len(edges) - tree_edge_count,
+            "tree_edges": tree_edge_count,
+            "searches": searches,
+        },
+    )

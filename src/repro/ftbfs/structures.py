@@ -1,0 +1,87 @@
+"""Common result type for all fault-tolerant structure builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Sequence, Tuple
+
+from repro.core.graph import Edge, Graph, normalize_edges
+
+
+@dataclass(frozen=True)
+class FTStructure:
+    """A fault-tolerant (multi-source) BFS structure ``H ⊆ G``.
+
+    Attributes
+    ----------
+    graph:
+        The host graph ``G``.
+    sources:
+        The source set ``S`` (a 1-tuple for single-source structures).
+    max_faults:
+        The number of edge faults ``f`` the structure is resilient to.
+    edges:
+        The edge set of ``H`` (normalized tuples).
+    builder:
+        Name of the construction that produced the structure.
+    stats:
+        Builder-specific counters (new-ending paths per vertex, search
+        counts, ...).  Contents are documented by each builder.
+    """
+
+    graph: Graph
+    sources: Tuple[int, ...]
+    max_faults: int
+    edges: FrozenSet[Edge]
+    builder: str
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """``|E(H)|`` — the paper's cost measure."""
+        return len(self.edges)
+
+    @property
+    def source(self) -> int:
+        """The unique source (raises for multi-source structures)."""
+        if len(self.sources) != 1:
+            raise ValueError(f"structure has {len(self.sources)} sources")
+        return self.sources[0]
+
+    def subgraph(self) -> Graph:
+        """Materialize ``H`` as a :class:`~repro.core.graph.Graph`."""
+        return self.graph.edge_subgraph(self.edges)
+
+    def density_exponent(self) -> float:
+        """``log_n |E(H)|`` — handy for eyeballing the n^{5/3} shape."""
+        import math
+
+        n = self.graph.n
+        if n <= 2 or self.size <= 0:
+            return 0.0
+        return math.log(self.size) / math.log(n)
+
+    def __repr__(self) -> str:
+        return (
+            f"FTStructure(builder={self.builder!r}, n={self.graph.n}, "
+            f"f={self.max_faults}, |S|={len(self.sources)}, size={self.size})"
+        )
+
+
+def make_structure(
+    graph: Graph,
+    sources: Sequence[int],
+    max_faults: int,
+    edges: Iterable[Sequence[int]],
+    builder: str,
+    stats: Dict[str, Any] = None,
+) -> FTStructure:
+    """Normalize inputs and build an :class:`FTStructure`."""
+    return FTStructure(
+        graph=graph,
+        sources=tuple(sources),
+        max_faults=max_faults,
+        edges=normalize_edges(edges),
+        builder=builder,
+        stats=dict(stats or {}),
+    )

@@ -1,0 +1,182 @@
+"""Ground-truth verification of fault-tolerant structures.
+
+A subgraph ``H ⊆ G`` is an f-failure FT-MBFS structure for sources ``S``
+iff ``dist(s, v, H \\ F) = dist(s, v, G \\ F)`` for every ``s ∈ S``,
+``v ∈ V`` and ``F ⊆ E`` with ``|F| ≤ f`` (Sec. 2).  This module checks
+that definition directly — exhaustively over all fault sets when
+feasible, or over a provided/sampled workload otherwise.  Everything
+else in the library (builders, benchmarks, the oracle) is validated
+against these checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.canonical import DistanceOracle
+from repro.core.errors import VerificationError
+from repro.core.graph import Edge, Graph, normalize_edges
+from repro.ftbfs.structures import FTStructure
+from repro.generators.workloads import all_fault_sets, sample_relevant_fault_sets
+
+Violation = Tuple[int, int, Tuple[Edge, ...]]  # (source, vertex, faults)
+
+
+def find_violation(
+    graph: Graph,
+    edges: Iterable[Sequence[int]],
+    sources: Sequence[int],
+    max_faults: int,
+    fault_sets: Optional[Iterable[Tuple[Edge, ...]]] = None,
+) -> Optional[Violation]:
+    """Search for a ``(s, v, F)`` witness that ``H`` is *not* FT-MBFS.
+
+    Parameters
+    ----------
+    fault_sets:
+        Fault sets to check.  Defaults to *all* sets of size
+        ``1..max_faults`` (exponential in ``max_faults``; fine for small
+        graphs).  The empty fault set is always checked first.
+
+    Returns ``None`` when every checked fault set is satisfied.
+    """
+    h = graph.edge_subgraph(normalize_edges(edges))
+    g_oracle = DistanceOracle(graph)
+    h_oracle = DistanceOracle(h)
+    n = graph.n
+
+    def check(faults: Tuple[Edge, ...]) -> Optional[Violation]:
+        for s in sources:
+            gd = g_oracle.distances_from(s, banned_edges=faults)
+            hd = h_oracle.distances_from(s, banned_edges=faults)
+            for v in range(n):
+                if gd[v] != hd[v]:
+                    return (s, v, faults)
+        return None
+
+    bad = check(())
+    if bad is not None:
+        return bad
+    if fault_sets is None:
+        fault_sets = all_fault_sets(graph, max_faults)
+    for faults in fault_sets:
+        bad = check(tuple(faults))
+        if bad is not None:
+            return bad
+    return None
+
+
+def is_ft_mbfs(
+    graph: Graph,
+    edges: Iterable[Sequence[int]],
+    sources: Sequence[int],
+    max_faults: int,
+    fault_sets: Optional[Iterable[Tuple[Edge, ...]]] = None,
+) -> bool:
+    """Boolean form of :func:`find_violation`."""
+    return (
+        find_violation(graph, edges, sources, max_faults, fault_sets) is None
+    )
+
+
+def verify_structure(
+    structure: FTStructure,
+    fault_sets: Optional[Iterable[Tuple[Edge, ...]]] = None,
+) -> None:
+    """Raise :class:`VerificationError` if a structure fails its contract.
+
+    Exhaustive by default; pass ``fault_sets`` for sampled verification
+    of larger instances.
+    """
+    bad = find_violation(
+        structure.graph,
+        structure.edges,
+        structure.sources,
+        structure.max_faults,
+        fault_sets,
+    )
+    if bad is not None:
+        s, v, faults = bad
+        raise VerificationError(
+            f"structure {structure.builder!r} fails for source {s}, "
+            f"vertex {v}, faults {faults}",
+            vertex=v,
+            faults=faults,
+        )
+
+
+def verify_structure_sampled(
+    structure: FTStructure,
+    samples: int = 200,
+    seed: int = 0,
+) -> None:
+    """Sampled verification biased toward BFS-tree faults.
+
+    Suitable for medium graphs where the exhaustive check is too
+    expensive; complements (never replaces) the exhaustive tests on
+    small graphs.
+    """
+    fault_sets: List[Tuple[Edge, ...]] = []
+    for i, s in enumerate(structure.sources):
+        fault_sets.extend(
+            sample_relevant_fault_sets(
+                structure.graph,
+                s,
+                structure.max_faults,
+                samples,
+                seed=seed + i,
+            )
+        )
+    verify_structure(structure, fault_sets=fault_sets)
+
+
+def edge_is_necessary(
+    graph: Graph,
+    edges: Iterable[Sequence[int]],
+    edge: Sequence[int],
+    sources: Sequence[int],
+    max_faults: int,
+    fault_sets: Optional[Iterable[Tuple[Edge, ...]]] = None,
+) -> bool:
+    """True iff removing ``edge`` from ``H`` breaks the FT-MBFS property.
+
+    Used both by minimality tests and by the lower-bound certification
+    (every bipartite edge of ``G*_f`` is necessary, Thm. 4.1).
+    """
+    edge_set = set(normalize_edges(edges))
+    e = normalize_edges([edge])
+    reduced = edge_set - e
+    return not is_ft_mbfs(graph, reduced, sources, max_faults, fault_sets)
+
+
+def prune_to_minimal(
+    graph: Graph,
+    structure: FTStructure,
+    fault_sets: Optional[List[Tuple[Edge, ...]]] = None,
+) -> FTStructure:
+    """Greedy reverse-delete: drop edges whose removal keeps H valid.
+
+    Produces an (inclusion-)minimal FT-MBFS structure — a crude but
+    useful upper bound on the optimum for the approximation experiments.
+    Exhaustive verification per removal; only viable on small graphs.
+    """
+    if graph is not structure.graph and graph != structure.graph:
+        raise VerificationError(
+            "graph does not match the structure's host graph"
+        )
+    if fault_sets is None:
+        fault_sets = list(all_fault_sets(graph, structure.max_faults))
+    current = set(structure.edges)
+    for e in sorted(structure.edges, reverse=True):
+        trial = current - {e}
+        if is_ft_mbfs(graph, trial, structure.sources, structure.max_faults, fault_sets):
+            current = trial
+    return FTStructure(
+        graph=graph,
+        sources=structure.sources,
+        max_faults=structure.max_faults,
+        edges=frozenset(current),
+        builder=structure.builder + "+pruned",
+        stats=dict(structure.stats),
+    )

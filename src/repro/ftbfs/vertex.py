@@ -1,0 +1,244 @@
+"""Vertex-fault-tolerant BFS structures (the [10] fault model).
+
+The paper's predecessor work (Parter–Peleg [10]) and its Section-1
+discussion treat *vertex* faults alongside edge faults: ``H ⊆ G`` is an
+f-**vertex**-failure FT-BFS structure for ``s`` iff
+
+    ``dist(s, v, H \\ F) = dist(s, v, G \\ F)``
+
+for every ``v`` and every vertex set ``F ⊆ V \\ {s}`` with ``|F| ≤ f``
+(vertices in ``F`` are removed together with their incident edges; the
+requirement is vacuous for ``v ∈ F``).
+
+This module ports the library's exact machinery to that fault model:
+
+* :func:`build_single_vertex_ftbfs` — the [10]-style construction for
+  one vertex fault: one canonical search per internal tree vertex,
+  collecting last edges for the affected subtree (size ``O(n^{3/2})``
+  by the same suffix-disjointness argument);
+* :func:`build_generic_vertex_ftbfs` — exact last-edge coverage for any
+  constant ``f``, branching on internal vertices of selected paths;
+* :func:`find_vertex_violation` / :func:`verify_vertex_structure` —
+  ground-truth checkers;
+* :class:`VertexFTQueryOracle` — queries under vertex faults.
+
+Correctness rests on the same last-edge coverage induction as the edge
+model (Lemma 3.2 / Lemma 5.1): for a bad pair ``(v, F)`` minimizing the
+deepest missing edge, the covered path's deepest missing edge endpoint
+``v_1`` is on a surviving path, hence ``v_1 ∉ F`` and ``(v_1, F)`` is a
+strictly shallower bad pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.canonical import DistanceOracle, UNREACHED
+from repro.core.errors import GraphError, VerificationError
+from repro.core.graph import Edge, Graph, normalize_edges
+from repro.core.paths import Path
+from repro.ftbfs.structures import FTStructure, make_structure
+from repro.replacement.base import SourceContext
+
+VertexFaults = Tuple[int, ...]
+
+
+def all_vertex_fault_sets(
+    graph: Graph, max_faults: int, forbidden: Iterable[int] = ()
+) -> Iterator[VertexFaults]:
+    """Every vertex fault set of size ``1..max_faults`` avoiding ``forbidden``."""
+    candidates = [v for v in graph.vertices() if v not in set(forbidden)]
+    for k in range(1, max_faults + 1):
+        for combo in itertools.combinations(candidates, k):
+            yield combo
+
+
+def build_single_vertex_ftbfs(graph: Graph, source: int, engine=None) -> FTStructure:
+    """Single-vertex-failure FT-BFS (the [10] vertex-fault construction).
+
+    One canonical search per failed internal tree vertex ``u`` serves
+    every target in the subtree below ``u``.
+    """
+    ctx = SourceContext(graph, source, engine)
+    tree = ctx.tree
+    edges: Set[Edge] = set(tree.edges())
+    tree_edges = len(edges)
+    searches = 0
+    internal = [
+        u for u in tree.vertices() if u != source and tree.children(u)
+    ]
+    for u in internal:
+        result = ctx.engine.search(source, banned_vertices=(u,))
+        searches += 1
+        for v in tree.subtree(u):
+            if v == u or result.dist_or_unreached(v) == UNREACHED:
+                continue
+            p = result.parent(v)
+            if p != v:
+                edges.add((p, v) if p < v else (v, p))
+    return make_structure(
+        graph,
+        (source,),
+        1,
+        edges,
+        builder="single-vertex-ftbfs",
+        stats={
+            "fault_model": "vertex",
+            "tree_edges": tree_edges,
+            "new_edges": len(edges) - tree_edges,
+            "searches": searches,
+        },
+    )
+
+
+def build_generic_vertex_ftbfs(
+    graph: Graph, source: int, max_faults: int, engine=None
+) -> FTStructure:
+    """Exact f-vertex-failure FT-BFS via canonical last-edge coverage.
+
+    Branches on the internal vertices of each selected path; for any
+    fault set ``F``, walking the branches along ``F ∩ V(P)`` reaches a
+    stored path avoiding all of ``F`` within ``≤ f`` steps.
+    """
+    if max_faults < 0:
+        raise GraphError("max_faults must be non-negative")
+    ctx = SourceContext(graph, source, engine)
+    tree = ctx.tree
+    edges: Set[Edge] = set(tree.edges())
+    searches = 0
+    for v in tree.vertices():
+        if v == source:
+            continue
+        stack: List[Tuple[VertexFaults, Path]] = [((), ctx.pi(v))]
+        seen: Set[VertexFaults] = {()}
+        while stack:
+            faults, path = stack.pop()
+            last = path.last_edge()
+            if last is not None:
+                edges.add(last)
+            if len(faults) == max_faults:
+                continue
+            for u in path.vertices[1:-1]:
+                branch = tuple(sorted(set(faults) | {u}))
+                if branch in seen:
+                    continue
+                seen.add(branch)
+                res = ctx.engine.search(source, banned_vertices=branch, target=v)
+                searches += 1
+                if res.dist_or_unreached(v) == UNREACHED:
+                    continue
+                stack.append((branch, res.path(v)))
+    return make_structure(
+        graph,
+        (source,),
+        max_faults,
+        edges,
+        builder=f"generic-vertex-ftbfs-f{max_faults}",
+        stats={"fault_model": "vertex", "searches": searches},
+    )
+
+
+def find_vertex_violation(
+    graph: Graph,
+    edges: Iterable[Sequence[int]],
+    sources: Sequence[int],
+    max_faults: int,
+    fault_sets: Optional[Iterable[VertexFaults]] = None,
+) -> Optional[Tuple[int, int, VertexFaults]]:
+    """Search for a witness that ``H`` is not a vertex-fault FT-MBFS.
+
+    Fault sets containing a source are skipped (the requirement is
+    defined for surviving sources only).
+    """
+    h = graph.edge_subgraph(normalize_edges(edges))
+    g_oracle = DistanceOracle(graph)
+    h_oracle = DistanceOracle(h)
+    source_set = set(sources)
+
+    def check(faults: VertexFaults) -> Optional[Tuple[int, int, VertexFaults]]:
+        for s in sources:
+            if s in faults:
+                continue
+            gd = g_oracle.distances_from(s, banned_vertices=faults)
+            hd = h_oracle.distances_from(s, banned_vertices=faults)
+            for v in range(graph.n):
+                if gd[v] != hd[v]:
+                    return (s, v, faults)
+        return None
+
+    bad = check(())
+    if bad is not None:
+        return bad
+    if fault_sets is None:
+        fault_sets = all_vertex_fault_sets(graph, max_faults, forbidden=source_set)
+    for faults in fault_sets:
+        bad = check(tuple(faults))
+        if bad is not None:
+            return bad
+    return None
+
+
+def verify_vertex_structure(
+    structure: FTStructure,
+    fault_sets: Optional[Iterable[VertexFaults]] = None,
+) -> None:
+    """Raise :class:`VerificationError` on a vertex-fault contract breach."""
+    bad = find_vertex_violation(
+        structure.graph,
+        structure.edges,
+        structure.sources,
+        structure.max_faults,
+        fault_sets,
+    )
+    if bad is not None:
+        s, v, faults = bad
+        raise VerificationError(
+            f"vertex-fault structure {structure.builder!r} fails for "
+            f"source {s}, vertex {v}, faulty vertices {faults}",
+            vertex=v,
+            faults=faults,
+        )
+
+
+class VertexFTQueryOracle:
+    """Distance/path queries against a vertex-fault structure."""
+
+    def __init__(self, structure: FTStructure) -> None:
+        if structure.stats.get("fault_model") != "vertex":
+            raise GraphError(
+                "structure was not built for the vertex fault model"
+            )
+        self.structure = structure
+        self._h = structure.subgraph()
+        self._dist = DistanceOracle(self._h)
+        from repro.core.canonical import LexShortestPaths
+
+        self._paths = LexShortestPaths(self._h)
+
+    def _check(self, source: int, faulty_vertices: Sequence[int]) -> None:
+        if source not in self.structure.sources:
+            raise GraphError(f"{source} is not a source of this structure")
+        if len(faulty_vertices) > self.structure.max_faults:
+            raise GraphError(
+                f"{len(faulty_vertices)} faults exceed budget "
+                f"f={self.structure.max_faults}"
+            )
+        if source in set(faulty_vertices):
+            raise GraphError("the source itself cannot be failed")
+
+    def distance(
+        self, source: int, target: int, faulty_vertices: Sequence[int] = ()
+    ) -> float:
+        """``dist(source, target, H \\ F)`` under vertex faults."""
+        self._check(source, faulty_vertices)
+        return self._dist.distance(source, target, banned_vertices=faulty_vertices)
+
+    def path(
+        self, source: int, target: int, faulty_vertices: Sequence[int] = ()
+    ) -> Path:
+        """A shortest surviving route inside ``H`` avoiding ``F``."""
+        self._check(source, faulty_vertices)
+        return self._paths.canonical_path(
+            source, target, banned_vertices=faulty_vertices
+        )

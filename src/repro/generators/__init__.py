@@ -1,0 +1,45 @@
+"""Workload generators: seeded random graphs and fault-set samplers."""
+
+from repro.generators.random_graphs import (
+    barbell_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    gnm_random,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_regularish,
+    random_tree,
+    torus_graph,
+    tree_plus_chords,
+)
+from repro.generators.workloads import (
+    all_fault_sets,
+    count_fault_sets,
+    sample_fault_sets,
+    sample_queries,
+    sample_relevant_fault_sets,
+)
+
+__all__ = [
+    "all_fault_sets",
+    "barbell_graph",
+    "complete_bipartite",
+    "complete_graph",
+    "count_fault_sets",
+    "cycle_graph",
+    "erdos_renyi",
+    "gnm_random",
+    "grid_graph",
+    "hypercube_graph",
+    "path_graph",
+    "random_regularish",
+    "random_tree",
+    "sample_fault_sets",
+    "sample_queries",
+    "sample_relevant_fault_sets",
+    "torus_graph",
+    "tree_plus_chords",
+]

@@ -1,0 +1,214 @@
+"""Seeded workload graph generators.
+
+All generators return :class:`repro.core.graph.Graph` instances and are
+deterministic given their ``seed`` argument.  They provide the
+non-adversarial side of the evaluation: the adversarial inputs live in
+:mod:`repro.lowerbound`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.errors import GraphError
+from repro.core.graph import Graph
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0, ensure_connected: bool = True) -> Graph:
+    """G(n, p) random graph.
+
+    With ``ensure_connected`` (default), a random spanning tree is added
+    first so the graph is always connected — the paper's structures are
+    only interesting on (mostly) connected graphs, and this keeps test
+    workloads well-defined without rejection sampling.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"probability p={p} out of range")
+    rng = random.Random(seed)
+    g = Graph(n)
+    if ensure_connected and n > 1:
+        _add_random_spanning_tree(g, rng)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g.finalize()
+
+
+def gnm_random(n: int, m: int, seed: int = 0, ensure_connected: bool = True) -> Graph:
+    """Random graph with exactly ``max(m, spanning-tree)`` edges."""
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise GraphError(f"m={m} exceeds simple-graph maximum {max_m}")
+    rng = random.Random(seed)
+    g = Graph(n)
+    if ensure_connected and n > 1:
+        _add_random_spanning_tree(g, rng)
+    attempts = 0
+    while g.m < m and attempts < 50 * max(m, 1):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+        attempts += 1
+    return g.finalize()
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform-ish random tree (random attachment)."""
+    rng = random.Random(seed)
+    g = Graph(n)
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v))
+    return g.finalize()
+
+
+def tree_plus_chords(n: int, chords: int, seed: int = 0) -> Graph:
+    """Random tree with ``chords`` extra random edges.
+
+    A classic sparse workload where replacement paths must take long
+    detours, exercising the detour machinery of Section 3.2.
+    """
+    rng = random.Random(seed)
+    g = random_tree(n, seed)
+    attempts = 0
+    target = g.m + chords
+    while g.m < target and attempts < 50 * max(chords, 1):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+        attempts += 1
+    return g.finalize()
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows × cols`` grid; vertex ``(r, c)`` is ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g.finalize()
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """Grid with wraparound edges (2D torus)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus dimensions must be >= 3 to stay simple")
+    g = grid_graph(rows, cols)
+    for r in range(rows):
+        g.add_edge(r * cols, r * cols + cols - 1)
+    for c in range(cols):
+        g.add_edge(c, (rows - 1) * cols + c)
+    return g.finalize()
+
+
+def cycle_graph(n: int) -> Graph:
+    """The n-cycle."""
+    if n < 3:
+        raise GraphError("cycle needs n >= 3")
+    g = Graph(n)
+    for v in range(n):
+        g.add_edge(v, (v + 1) % n)
+    return g.finalize()
+
+
+def path_graph(n: int) -> Graph:
+    """The n-vertex path."""
+    g = Graph(n)
+    g.add_path(list(range(n)))
+    return g.finalize()
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n."""
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g.finalize()
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b}; left part is ``0..a-1``, right part ``a..a+b-1``."""
+    g = Graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g.finalize()
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube on ``2^dim`` vertices."""
+    if dim < 1:
+        raise GraphError("hypercube dimension must be >= 1")
+    n = 1 << dim
+    g = Graph(n)
+    for v in range(n):
+        for b in range(dim):
+            w = v ^ (1 << b)
+            if w > v:
+                g.add_edge(v, w)
+    return g.finalize()
+
+
+def barbell_graph(k: int, bridge_len: int = 1) -> Graph:
+    """Two K_k cliques joined by a path of ``bridge_len`` edges.
+
+    Every bridge edge is a cut edge, producing many disconnecting fault
+    sets — a stress test for unreachability handling.
+    """
+    if k < 2 or bridge_len < 1:
+        raise GraphError("need k >= 2 and bridge_len >= 1")
+    n = 2 * k + (bridge_len - 1)
+    g = Graph(n)
+    for u in range(k):
+        for v in range(u + 1, k):
+            g.add_edge(u, v)
+    right = list(range(k + bridge_len - 1, n))
+    for i, u in enumerate(right):
+        for v in right[i + 1 :]:
+            g.add_edge(u, v)
+    chain = [k - 1] + list(range(k, k + bridge_len - 1)) + [right[0]]
+    g.add_path(chain)
+    return g.finalize()
+
+
+def random_regularish(n: int, degree: int, seed: int = 0) -> Graph:
+    """Connected graph with (approximately) uniform degree ``degree``.
+
+    Built by a random cycle plus greedy random matching rounds; exact
+    regularity is not guaranteed (hence the name), but degrees are
+    concentrated and the graph is connected and simple.
+    """
+    if degree < 2 or degree >= n:
+        raise GraphError("need 2 <= degree < n")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    g = Graph(n)
+    for i in range(n):
+        g.add_edge(order[i], order[(i + 1) % n])
+    target_m = n * degree // 2
+    attempts = 0
+    while g.m < target_m and attempts < 100 * target_m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and g.degree(u) < degree and g.degree(v) < degree:
+            g.add_edge(u, v)
+        attempts += 1
+    return g.finalize()
+
+
+def _add_random_spanning_tree(g: Graph, rng: random.Random) -> None:
+    order = list(range(g.n))
+    rng.shuffle(order)
+    for i in range(1, g.n):
+        g.add_edge(order[i], order[rng.randrange(i)])

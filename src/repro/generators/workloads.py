@@ -1,0 +1,102 @@
+"""Fault-set and query workload samplers.
+
+Verification of an f-failure FT-BFS over all ``O(m^f)`` fault sets is
+only feasible on small graphs; these samplers provide stratified random
+fault workloads for medium-sized graphs and query streams for the
+oracle benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.graph import Edge, Graph
+from repro.core.tree import BFSTree
+
+
+def all_fault_sets(graph: Graph, max_faults: int) -> Iterator[Tuple[Edge, ...]]:
+    """Every fault set ``F ⊆ E`` with ``1 <= |F| <= max_faults``.
+
+    Includes the empty set last-but-not-least semantics are left to the
+    caller; the empty set is *not* yielded (fault-free behaviour is
+    checked separately).
+    """
+    edges = sorted(graph.edges())
+    for k in range(1, max_faults + 1):
+        for combo in itertools.combinations(edges, k):
+            yield combo
+
+
+def count_fault_sets(graph: Graph, max_faults: int) -> int:
+    """Number of fault sets yielded by :func:`all_fault_sets`."""
+    m = graph.m
+    total = 0
+    binom = 1
+    for k in range(1, max_faults + 1):
+        binom = binom * (m - k + 1) // k
+        total += binom
+    return total
+
+
+def sample_fault_sets(
+    graph: Graph,
+    max_faults: int,
+    samples: int,
+    seed: int = 0,
+) -> List[Tuple[Edge, ...]]:
+    """Uniform random fault sets of size exactly ``max_faults``."""
+    rng = random.Random(seed)
+    edges = sorted(graph.edges())
+    out = []
+    for _ in range(samples):
+        out.append(tuple(sorted(rng.sample(edges, max_faults))))
+    return out
+
+
+def sample_relevant_fault_sets(
+    graph: Graph,
+    source: int,
+    max_faults: int,
+    samples: int,
+    seed: int = 0,
+) -> List[Tuple[Edge, ...]]:
+    """Random fault sets biased toward the BFS tree of ``source``.
+
+    Fault sets that miss every shortest path are trivially satisfied by
+    the BFS tree, so uniform sampling wastes most of its budget.  This
+    sampler draws the first fault from the tree edges and the rest
+    uniformly, covering the interesting part of the fault space.
+    """
+    rng = random.Random(seed)
+    tree = BFSTree(graph, source)
+    tree_edges = sorted(tree.edges())
+    all_edges = sorted(graph.edges())
+    if not tree_edges:
+        return sample_fault_sets(graph, max_faults, samples, seed)
+    out = []
+    for _ in range(samples):
+        faults = {rng.choice(tree_edges)}
+        while len(faults) < max_faults:
+            faults.add(rng.choice(all_edges))
+        out.append(tuple(sorted(faults)))
+    return out
+
+
+def sample_queries(
+    graph: Graph,
+    max_faults: int,
+    samples: int,
+    seed: int = 0,
+) -> List[Tuple[int, Tuple[Edge, ...]]]:
+    """Random ``(target, fault_set)`` query pairs for oracle benchmarks."""
+    rng = random.Random(seed)
+    edges = sorted(graph.edges())
+    out = []
+    for _ in range(samples):
+        v = rng.randrange(graph.n)
+        k = rng.randint(0, max_faults)
+        faults = tuple(sorted(rng.sample(edges, k))) if k else ()
+        out.append((v, faults))
+    return out

@@ -1,0 +1,31 @@
+"""Lower-bound constructions of Section 4 (Theorem 1.2, Figs. 10-12)."""
+
+from repro.lowerbound.adversarial import (
+    LowerBoundInstance,
+    build_lower_bound_graph,
+    check_witness,
+    choose_d,
+    forced_edge_witnesses,
+    theoretical_lower_bound,
+)
+from repro.lowerbound.gadgets import (
+    Gadget,
+    build_gadget,
+    build_gadget_g1,
+    gadget_vertex_count,
+    root_to_leaf_path_lengths,
+)
+
+__all__ = [
+    "Gadget",
+    "LowerBoundInstance",
+    "build_gadget",
+    "build_gadget_g1",
+    "build_lower_bound_graph",
+    "check_witness",
+    "choose_d",
+    "forced_edge_witnesses",
+    "gadget_vertex_count",
+    "root_to_leaf_path_lengths",
+    "theoretical_lower_bound",
+]

@@ -1,0 +1,194 @@
+"""The adversarial graphs ``G*_f`` proving Theorem 1.2 (Figs. 11–12).
+
+``G*_f`` consists of (1) a gadget ``G_f(d)`` rooted at the source ``s``,
+(2) a hub ``v*`` adjacent to the far end ``u^f_d`` of the gadget's top
+path and to a Θ(n)-sized vertex set ``X``, and (3) a complete bipartite
+graph between ``X`` and the gadget's ``d^f`` leaves.
+
+In the fault-free graph every ``x ∈ X`` is reached cheaply through
+``v*``.  For each leaf ``z_j`` there is a fault set ``F_j`` of size
+``≤ f`` — the leaf's label, which cuts the top path (or the ``v*``
+edge for rightmost-copy leaves) — such that the *unique* shortest
+surviving route to every ``x`` is its bipartite edge ``(x, z_j)``:
+leaves to the right of ``z_j`` are disconnected from cheap routes and
+leaves to the left are strictly deeper (Lemma 4.3).  Hence **every**
+bipartite edge is forced into any f-failure FT-BFS structure, giving
+``Ω(n^{2-1/(f+1)})`` for a single source and
+``Ω(σ^{1-1/(f+1)} n^{2-1/(f+1)})`` for ``σ`` sources.
+
+:func:`forced_edge_witnesses` returns the per-edge fault certificates,
+and the tests/benches check them against the definition directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import GraphError
+from repro.core.graph import Edge, Graph, normalize_edge
+from repro.lowerbound.gadgets import Gadget, build_gadget, gadget_vertex_count
+
+
+@dataclass
+class LowerBoundInstance:
+    """A constructed ``G*_f`` together with its certification data.
+
+    Attributes
+    ----------
+    graph:
+        The adversarial graph.
+    sources:
+        The source set ``S`` (gadget roots).
+    f:
+        Fault budget the construction targets.
+    d:
+        Gadget branching parameter used.
+    gadgets:
+        One :class:`~repro.lowerbound.gadgets.Gadget` per source.
+    hub:
+        The vertex ``v*``.
+    x_vertices:
+        The set ``X``.
+    witnesses:
+        ``(source, x, leaf, fault_set)`` per bipartite edge: failing
+        ``fault_set`` (``|fault_set| ≤ f``) forces edge ``(x, leaf)``
+        into any f-failure FT-MBFS structure for ``source``.
+    """
+
+    graph: Graph
+    sources: Tuple[int, ...]
+    f: int
+    d: int
+    gadgets: List[Gadget]
+    hub: int
+    x_vertices: List[int]
+    witnesses: List[Tuple[int, int, int, Tuple[Edge, ...]]]
+
+    @property
+    def bipartite_edge_count(self) -> int:
+        """Number of forced bipartite edges — the lower-bound mass."""
+        return len(self.x_vertices) * sum(g.leaf_count for g in self.gadgets)
+
+    def forced_lower_bound(self) -> int:
+        """Edges provably required in any f-failure FT-MBFS structure."""
+        return self.bipartite_edge_count
+
+
+def choose_d(n: int, f: int, sigma: int = 1, budget: float = 0.5) -> int:
+    """Largest ``d`` with ``σ · N(f, d) ≤ budget · n`` (≥ 2 required)."""
+    d = 2
+    if sigma * gadget_vertex_count(f, 2) > budget * n:
+        raise GraphError(
+            f"n={n} too small for an f={f}, sigma={sigma} lower-bound instance"
+        )
+    while sigma * gadget_vertex_count(f, d + 1) <= budget * n:
+        d += 1
+    return d
+
+
+def build_lower_bound_graph(
+    n: int, f: int, sigma: int = 1, budget: float = 0.5
+) -> LowerBoundInstance:
+    """Construct ``G*_f`` on exactly ``n`` vertices with ``sigma`` sources.
+
+    ``budget`` caps the fraction of vertices spent on gadgets; the
+    remainder becomes the bipartite side ``X`` (so ``|X| = Θ(n)``).
+    """
+    if sigma < 1:
+        raise GraphError("sigma must be >= 1")
+    d = choose_d(n, f, sigma, budget)
+    g = Graph(0)
+    gadgets = [build_gadget(g, f, d) for _ in range(sigma)]
+    hub = g.add_vertex()
+    for gadget in gadgets:
+        g.add_edge(gadget.top_path[-1], hub)
+    x_count = n - g.n
+    if x_count < 1:
+        raise GraphError(
+            f"no budget left for X (n={n}, gadgets used {g.n} vertices)"
+        )
+    x_vertices = g.add_vertices(x_count)
+    for x in x_vertices:
+        g.add_edge(hub, x)
+    for gadget in gadgets:
+        for z in gadget.leaves:
+            for x in x_vertices:
+                g.add_edge(z, x)
+    g.finalize()
+
+    witnesses = []
+    for gadget in gadgets:
+        source = gadget.root
+        hub_edge = normalize_edge(gadget.top_path[-1], hub)
+        for z in gadget.leaves:
+            label = gadget.labels[z]
+            if _cuts_top_path(label, gadget):
+                faults = label
+            else:
+                # Rightmost-copy leaves: the label spares the top path,
+                # so the hub edge joins the fault set (|F| ≤ f still).
+                faults = (hub_edge,) + label
+            if len(faults) > f:
+                raise GraphError(
+                    f"internal error: witness of size {len(faults)} > f={f}"
+                )
+            for x in x_vertices:
+                witnesses.append((source, x, z, faults))
+    return LowerBoundInstance(
+        graph=g,
+        sources=tuple(gadget.root for gadget in gadgets),
+        f=f,
+        d=d,
+        gadgets=gadgets,
+        hub=hub,
+        x_vertices=x_vertices,
+        witnesses=witnesses,
+    )
+
+
+def _cuts_top_path(label: Tuple[Edge, ...], gadget: Gadget) -> bool:
+    """True iff the label contains a top-path edge of the gadget."""
+    top = gadget.top_path
+    top_edges = {normalize_edge(a, b) for a, b in zip(top, top[1:])}
+    return any(e in top_edges for e in label)
+
+
+def forced_edge_witnesses(
+    instance: LowerBoundInstance, limit: Optional[int] = None
+) -> List[Tuple[Edge, int, Tuple[Edge, ...]]]:
+    """``(edge, source, fault_set)`` certificates for forced bipartite edges.
+
+    ``limit`` truncates the list (certificate checking is BFS-heavy).
+    """
+    out = []
+    for source, x, z, faults in instance.witnesses[:limit]:
+        out.append((normalize_edge(x, z), source, faults))
+    return out
+
+
+def check_witness(
+    instance: LowerBoundInstance,
+    edge: Edge,
+    source: int,
+    faults: Tuple[Edge, ...],
+) -> bool:
+    """Verify one certificate: dropping ``edge`` worsens ``dist`` under ``faults``.
+
+    Checks ``dist(source, x, (G − edge) \\ F) > dist(source, x, G \\ F)``
+    where ``x`` is the ``X``-side endpoint of ``edge``.
+    """
+    from repro.core.canonical import DistanceOracle
+
+    g = instance.graph
+    x = edge[0] if edge[0] in set(instance.x_vertices) else edge[1]
+    oracle = DistanceOracle(g)
+    base = oracle.distance(source, x, banned_edges=faults)
+    reduced = oracle.distance(source, x, banned_edges=tuple(faults) + (edge,))
+    return reduced > base
+
+
+def theoretical_lower_bound(n: int, f: int, sigma: int = 1) -> float:
+    """The Thm. 1.2 bound ``σ^{1−1/(f+1)} · n^{2−1/(f+1)}`` (constant 1)."""
+    exp = 1.0 / (f + 1)
+    return (sigma ** (1 - exp)) * (n ** (2 - exp))

@@ -1,0 +1,81 @@
+"""Shared per-source computation context.
+
+Every construction in the paper fixes a source ``s`` and repeatedly
+needs the same objects: the canonical BFS tree ``T0(s)``, the paths
+``π(s, v)``, a fast distance oracle for feasibility checks, and a
+canonical shortest-path engine for extracting chosen paths.
+:class:`SourceContext` bundles them so the algorithm modules stay free
+of plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set, Tuple
+
+from repro.core.canonical import DistanceOracle, LexShortestPaths
+from repro.core.errors import GraphError
+from repro.core.graph import Edge, Graph, normalize_edge
+from repro.core.paths import Path
+from repro.core.tree import BFSTree
+
+
+class SourceContext:
+    """Graph + source + canonical engine + distance oracle + BFS tree.
+
+    Parameters
+    ----------
+    graph:
+        The host graph ``G`` (treated as immutable from here on).
+    source:
+        The source vertex ``s``.
+    engine:
+        Canonical shortest-path engine; defaults to
+        :class:`~repro.core.canonical.LexShortestPaths`.
+    """
+
+    def __init__(self, graph: Graph, source: int, engine=None) -> None:
+        if not graph.has_vertex(source):
+            raise GraphError(f"invalid source {source}")
+        graph.finalize()
+        self.graph = graph
+        self.source = source
+        self.engine = engine if engine is not None else LexShortestPaths(graph)
+        self.oracle = DistanceOracle(graph)
+        self.tree = BFSTree(graph, source, self.engine)
+
+    # ------------------------------------------------------------------
+    # convenience wrappers
+    # ------------------------------------------------------------------
+    def pi(self, v: int) -> Path:
+        """``π(s, v)``."""
+        return self.tree.pi(v)
+
+    def depth(self, v: int) -> float:
+        """``depth(v) = dist(s, v, G)``."""
+        return self.tree.depth(v)
+
+    def distance(self, target: int, banned_edges=(), banned_vertices=()) -> float:
+        """``dist(s, target, G')`` under a restriction (``inf`` if cut)."""
+        return self.oracle.distance(self.source, target, banned_edges, banned_vertices)
+
+    def canonical_path(self, target: int, banned_edges=(), banned_vertices=()) -> Path:
+        """``SP(s, target, G', W)`` under a restriction."""
+        return self.engine.canonical_path(
+            self.source, target, banned_edges, banned_vertices
+        )
+
+    def pi_segment_interior_ban(
+        self, pi_path: Path, from_vertex: int, to_vertex: int
+    ) -> Set[int]:
+        """Vertex ban realizing ``G(u_k, u_l)`` of Eq. (3).
+
+        Returns ``V(π[u_k, u_l]) \\ {u_k, v}`` where ``v`` is the path
+        target — i.e. the interior of the π-segment to mask out, keeping
+        the divergence anchor ``u_k`` (and the target, which Eq. (3)
+        always retains).
+        """
+        seg = pi_path.subpath(from_vertex, to_vertex)
+        banned = set(seg.vertices)
+        banned.discard(from_vertex)
+        banned.discard(pi_path.target)
+        return banned

@@ -1,0 +1,173 @@
+"""New-ending path classification — Section 3.3.2 (Fig. 7).
+
+Algorithm ``Cons2FTBFS`` adds one new edge per *new-ending* replacement
+path; the whole ``O(n^{2/3})``-per-vertex size analysis works by
+partitioning those paths into five classes and bounding each:
+
+=====  ==========  ====================================================
+class  paper name  definition
+=====  ==========  ====================================================
+A      ``P_π``     (π,π) paths — both faults on ``π(s, v)``
+B      ``P_nodet`` (π,D) paths that never touch their detour's edges
+C      ``P_indep`` (π,D) paths independent of every other new-ending
+                   (π,D) path (no interference either way)
+D      ``I_π``     interfering paths that π-interfere with every path
+                   they interfere with
+E      ``I_D``     the rest (D-interference present)
+=====  ==========  ====================================================
+
+*Interference* (Sec. 3.3.2): ``P_i`` interferes with ``P_j`` iff
+``F2(P_j) ∈ E(P_i) \\ E(D(P_i))``.  When it does, the natural escape
+route ``Q = D_j[q_2, y_j] ∘ π(y_j, v)`` is unusable either because
+``F1(P_i)`` sits on ``π(y_j, v)`` (*π-interference*) or because
+``F2(P_i)`` sits on ``D_j[q_2, y_j]`` (*D-interference*).
+
+This module reconstructs the partition from the records produced by a
+``Cons2FTBFS`` run; the census benchmark (experiment E9) reports class
+frequencies, and tests assert the partition is total and disjoint and
+that each class obeys its defining predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.graph import Edge, normalize_edge
+from repro.core.paths import Path
+from repro.replacement.dual import DualReplacement
+from repro.replacement.single import SingleReplacement
+
+
+class PathClass(Enum):
+    """The five new-ending path classes of Fig. 7."""
+
+    PIPI = "A:pipi"
+    NODET = "B:nodet"
+    INDEPENDENT = "C:independent"
+    PI_INTERFERING = "D:pi-interfering"
+    D_INTERFERING = "E:d-interfering"
+
+
+@dataclass(frozen=True)
+class ClassifiedPath:
+    """A new-ending path together with its class and interference edges."""
+
+    record: DualReplacement
+    path_class: PathClass
+    interferes_with: Tuple[int, ...]
+    interfered_by: Tuple[int, ...]
+
+
+def interferes(p_i: DualReplacement, d_i: SingleReplacement, p_j: DualReplacement) -> bool:
+    """``P_i`` interferes with ``P_j``: ``F2(P_j) ∈ E(P_i) \\ E(D(P_i))``."""
+    t_j = normalize_edge(*p_j.second_fault)
+    if t_j not in p_i.path.edge_set():
+        return False
+    return t_j not in d_i.detour.edge_set()
+
+
+def pi_interferes(
+    pi_path: Path,
+    p_i: DualReplacement,
+    p_j: DualReplacement,
+    d_j: SingleReplacement,
+) -> bool:
+    """π-interference: ``F1(P_i)`` lies on ``π(y(D_j), v)``.
+
+    Assumes ``P_i`` interferes with ``P_j``.
+    """
+    suffix = pi_path.suffix(d_j.y)
+    return suffix.has_edge(*p_i.first_fault)
+
+
+def d_interferes(
+    p_i: DualReplacement,
+    p_j: DualReplacement,
+    d_j: SingleReplacement,
+) -> bool:
+    """D-interference: ``F2(P_i)`` lies on ``D_j[q_2, y_j]``.
+
+    ``q_2`` is the lower endpoint of ``F2(P_j)`` on ``D_j``.  Assumes
+    ``P_i`` interferes with ``P_j``.
+    """
+    t_j = p_j.second_fault
+    pos = max(d_j.detour.position(t_j[0]), d_j.detour.position(t_j[1]))
+    q2 = d_j.detour[pos]
+    tail = d_j.detour.suffix(q2)
+    return tail.has_edge(*p_i.second_fault)
+
+
+def classify_new_ending(
+    pi_path: Path,
+    records: Sequence[DualReplacement],
+    detours: Dict[Edge, SingleReplacement],
+) -> List[ClassifiedPath]:
+    """Partition a target's new-ending paths into the five classes.
+
+    Parameters
+    ----------
+    pi_path:
+        ``π(s, v)`` of the shared target.
+    records:
+        New-ending dual replacement records for this target (both
+        kinds).
+    detours:
+        Map from first-fault edge to its :class:`SingleReplacement`
+        (``D(P)`` lookup).
+    """
+    n = len(records)
+    pid_indices = [i for i, r in enumerate(records) if r.kind == "pid"]
+
+    # Interference relation among (π, D) records.
+    inter: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for i in pid_indices:
+        d_i = detours[normalize_edge(*records[i].first_fault)]
+        for j in pid_indices:
+            if i != j and interferes(records[i], d_i, records[j]):
+                inter[i].add(j)
+
+    interfered_by: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for i, targets in inter.items():
+        for j in targets:
+            interfered_by[j].add(i)
+
+    out: List[ClassifiedPath] = []
+    for i, rec in enumerate(records):
+        if rec.kind == "pipi":
+            cls = PathClass.PIPI
+        else:
+            d_i = detours[normalize_edge(*rec.first_fault)]
+            if not (rec.path.edge_set() & d_i.detour.edge_set()):
+                cls = PathClass.NODET
+            elif not inter[i] and not interfered_by[i]:
+                cls = PathClass.INDEPENDENT
+            else:
+                all_pi = all(
+                    pi_interferes(
+                        pi_path,
+                        rec,
+                        records[j],
+                        detours[normalize_edge(*records[j].first_fault)],
+                    )
+                    for j in inter[i]
+                )
+                cls = PathClass.PI_INTERFERING if all_pi else PathClass.D_INTERFERING
+        out.append(
+            ClassifiedPath(
+                record=rec,
+                path_class=cls,
+                interferes_with=tuple(sorted(inter[i])),
+                interfered_by=tuple(sorted(interfered_by[i])),
+            )
+        )
+    return out
+
+
+def class_counts(classified: Sequence[ClassifiedPath]) -> Dict[PathClass, int]:
+    """Histogram of classes (one row of the E9 census table)."""
+    counts = {c: 0 for c in PathClass}
+    for cp in classified:
+        counts[cp.path_class] += 1
+    return counts

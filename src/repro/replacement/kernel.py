@@ -1,0 +1,190 @@
+"""The kernel subgraph of detours — Section 3.2.2 (Fig. 5).
+
+Given a collection of detours ``D = {D_1, ..., D_t}`` of the same target,
+the *kernel* ``K(D)`` keeps, from each detour in (x, y)-order, only its
+prefix up to the first vertex already present.  Lemma 3.14 shows the
+kernel still contains every relevant second fault: for any (π,D)
+replacement path ``P`` with ``D(P) ∈ D`` and ``F2(P) = (q_1, q_2)``,
+the whole prefix ``D[x, q_2]`` lies inside ``K(D)``.
+
+The module also implements *regions* (the maximal kernel subpaths
+between branch vertices, Claims 3.28–3.30), used in the analysis of
+D-interfering paths and exercised directly by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ConstructionError
+from repro.core.graph import Edge
+from repro.core.paths import Path
+from repro.replacement.single import SingleReplacement
+
+
+@dataclass(frozen=True)
+class KernelEntry:
+    """One detour's contribution to the kernel.
+
+    Attributes
+    ----------
+    detour:
+        The originating :class:`SingleReplacement`.
+    segment:
+        The prefix ``D_i[x_i, w_i]`` added to the kernel.
+    w:
+        The cut vertex ``w_i`` (equals ``y_i`` iff non-truncated).
+    truncated:
+        True iff the detour was cut short by an earlier detour.
+    breaker:
+        Index (into the kernel's ordered detour list) of the earlier
+        detour ``Ψ(D_i)`` owning ``w_i``; ``None`` for non-truncated
+        detours.
+    """
+
+    detour: SingleReplacement
+    segment: Path
+    w: int
+    truncated: bool
+    breaker: Optional[int]
+
+
+class KernelSubgraph:
+    """``K(D)``: the kernel of a detour collection for one target.
+
+    Parameters
+    ----------
+    pi_path:
+        ``π(s, v)`` of the shared target (defines the (x, y)-ordering).
+    detours:
+        The detour collection ``D`` (any order; re-sorted internally).
+    """
+
+    def __init__(self, pi_path: Path, detours: Sequence[SingleReplacement]) -> None:
+        self.pi_path = pi_path
+        self.ordered = xy_order(pi_path, detours)
+        self.entries: List[KernelEntry] = []
+        # vertex -> index of the first entry whose segment contains it
+        self._owner: Dict[int, int] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for idx, det in enumerate(self.ordered):
+            verts = det.detour.vertices
+            w = None
+            cut = len(verts)
+            for pos, u in enumerate(verts):
+                if u in self._owner:
+                    w = u
+                    cut = pos + 1
+                    break
+            if w is None:
+                # Non-truncated: the whole detour joins the kernel.
+                segment = det.detour
+                entry = KernelEntry(
+                    detour=det,
+                    segment=segment,
+                    w=det.y,
+                    truncated=False,
+                    breaker=None,
+                )
+            else:
+                segment = Path(verts[:cut])
+                entry = KernelEntry(
+                    detour=det,
+                    segment=segment,
+                    w=w,
+                    truncated=(w != det.y),
+                    breaker=self._owner[w],
+                )
+            self.entries.append(entry)
+            for u in entry.segment.vertices:
+                self._owner.setdefault(u, idx)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def vertices(self) -> Set[int]:
+        """``V(K(D))``."""
+        return set(self._owner)
+
+    def interior_vertices(self) -> Set[int]:
+        """``V'(K(D))``: kernel vertices not on ``π(s, v)`` (Lemma 3.20)."""
+        return self.vertices() - set(self.pi_path.vertices)
+
+    def edges(self) -> Set[Edge]:
+        """``E(K(D))``: union of the kept segments' edges."""
+        out: Set[Edge] = set()
+        for entry in self.entries:
+            out.update(entry.segment.edges())
+        return out
+
+    def owner(self, vertex: int) -> Optional[int]:
+        """Index of the first entry whose segment contains ``vertex``."""
+        return self._owner.get(vertex)
+
+    def contains_detour_prefix(self, det: SingleReplacement, upto: int) -> bool:
+        """True iff ``D[x, upto]`` lies inside the kernel (Lemma 3.14 check)."""
+        seg = det.detour.prefix(upto)
+        kernel_edges = self.edges()
+        return all(e in kernel_edges for e in seg.edges())
+
+    def breaker_of(self, idx: int) -> Optional[SingleReplacement]:
+        """``Ψ(D_idx)``: the breaker detour, or ``None`` if non-truncated."""
+        b = self.entries[idx].breaker
+        return None if b is None else self.ordered[b]
+
+    # ------------------------------------------------------------------
+    # regions (Claims 3.28 - 3.30)
+    # ------------------------------------------------------------------
+    def endpoint_vertices(self) -> Tuple[Set[int], Set[int]]:
+        """``(X_1, W_1)``: segment start vertices and cut vertices."""
+        xs = {e.segment.source for e in self.entries}
+        ws = {e.w for e in self.entries}
+        return xs, ws
+
+    def regions(self) -> List[Path]:
+        """Decompose the kernel into regions.
+
+        A region is a maximal kernel subpath whose endpoints lie in
+        ``X_1 ∪ W_1`` and whose interior avoids ``X_1 ∪ W_1``.  Claim
+        3.29 bounds their number by ``2 |D|`` and shows each region is
+        contained in a single detour; both facts are asserted by tests.
+        """
+        xs, ws = self.endpoint_vertices()
+        special = xs | ws
+        out: List[Path] = []
+        for entry in self.entries:
+            verts = entry.segment.vertices
+            if len(verts) < 2:
+                continue
+            start = 0
+            for i in range(1, len(verts)):
+                if verts[i] in special or i == len(verts) - 1:
+                    if i > start:
+                        out.append(Path(verts[start : i + 1]))
+                    start = i
+        return out
+
+
+def xy_order(
+    pi_path: Path, detours: Sequence[SingleReplacement]
+) -> List[SingleReplacement]:
+    """The paper's (x, y)-ordering: decreasing ``x`` depth, then decreasing ``y``.
+
+    ``D_i ≺ D_j`` iff ``x_i > x_j`` (deeper start first) or ``x_i = x_j``
+    and ``y_i > y_j``.
+    """
+    return sorted(
+        detours,
+        key=lambda d: (-pi_path.position(d.x), -pi_path.position(d.y)),
+    )
+
+
+def build_kernel(
+    pi_path: Path, detours: Sequence[SingleReplacement]
+) -> KernelSubgraph:
+    """Convenience constructor for :class:`KernelSubgraph`."""
+    return KernelSubgraph(pi_path, detours)

@@ -1,0 +1,213 @@
+"""Single-failure replacement paths — Step (1) of Algorithm ``Cons2FTBFS``.
+
+For a target ``v`` and a failing edge ``e_i = (u_i, u_{i+1}) ∈ π(s, v)``,
+the paper selects the replacement path ``P_{s,v,{e_i}}`` that diverges
+from ``π(s, v)`` **as close to the source as possible**: it finds the
+minimal index ``k`` with
+
+    ``dist(s, v, G(u_k, u_i) \\ {e_i}) = dist(s, v, G \\ {e_i})``
+
+(where ``G(u_k, u_l)`` masks the interior of the π-segment, Eq. 3) and
+takes the canonical shortest path in that restriction.  Claim 3.4 then
+guarantees the decomposition
+
+    ``P_{s,v,{e_i}} = π(s, x_i) ∘ D_i ∘ π(y_i, v)``
+
+with a detour segment ``D_i`` that meets ``π(s, v)`` exactly at its
+endpoints ``x_i = u_k`` and ``y_i``.
+
+This module computes those paths and their decompositions.  Feasibility
+in ``k`` is monotone (masking a shorter prefix only removes paths), so
+the minimal ``k`` is located by binary search; a linear-scan reference
+is retained for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.canonical import INF
+from repro.core.errors import ConstructionError
+from repro.core.graph import Edge, normalize_edge
+from repro.core.paths import Path
+from repro.replacement.base import SourceContext
+
+
+@dataclass(frozen=True)
+class SingleReplacement:
+    """A selected single-failure replacement path and its decomposition.
+
+    Attributes
+    ----------
+    fault:
+        The protected edge ``e_i`` (normalized), lying on ``π(s, v)``.
+    path:
+        ``P_{s,v,{e_i}}`` — the selected replacement path.
+    divergence:
+        ``x_i``: the unique divergence point from ``π(s, v)`` (equals
+        ``b(P)`` and the first vertex of the detour).
+    reattach:
+        ``y_i``: the first vertex after ``x_i`` shared with ``π(s, v)``
+        (the last vertex of the detour; may equal the target ``v``).
+    detour:
+        ``D_i = P[x_i, y_i]`` including both endpoints.
+    """
+
+    fault: Edge
+    path: Path
+    divergence: int
+    reattach: int
+    detour: Path
+
+    @property
+    def x(self) -> int:
+        """Alias for :attr:`divergence` (``x(D_i)`` in the paper)."""
+        return self.divergence
+
+    @property
+    def y(self) -> int:
+        """Alias for :attr:`reattach` (``y(D_i)`` in the paper)."""
+        return self.reattach
+
+
+def decompose_replacement(pi_path: Path, path: Path, fault: Edge) -> SingleReplacement:
+    """Split a replacement path into prefix ∘ detour ∘ suffix (Claim 3.4).
+
+    ``x`` is the first divergence point from ``π``, ``y`` the first
+    vertex of the path after ``x`` that lies on ``π`` (possibly the
+    target).  Raises :class:`ConstructionError` if the path does not
+    have the claimed three-segment shape — which, per Claim 3.4, cannot
+    happen for paths selected with the earliest-divergence rule.
+    """
+    pi_vertices = set(pi_path.vertices)
+    verts = path.vertices
+    x_index = None
+    for i in range(len(verts) - 1):
+        if verts[i] in pi_vertices and verts[i + 1] not in pi_vertices:
+            x_index = i
+            break
+    if x_index is None:
+        raise ConstructionError(
+            f"replacement path {path!r} never diverges from π (fault {fault})"
+        )
+    y_index = None
+    for j in range(x_index + 1, len(verts)):
+        if verts[j] in pi_vertices:
+            y_index = j
+            break
+    if y_index is None:
+        raise ConstructionError(f"replacement path {path!r} never rejoins π")
+    x = verts[x_index]
+    y = verts[y_index]
+    # Sanity: prefix must coincide with π(s, x) and the suffix with
+    # π(y, v); the detour interior must avoid π entirely.
+    if verts[: x_index + 1] != pi_path.prefix(x).vertices:
+        raise ConstructionError(
+            f"prefix of {path!r} deviates from π before its divergence point"
+        )
+    if verts[y_index:] != pi_path.suffix(y).vertices:
+        raise ConstructionError(
+            f"suffix of {path!r} deviates from π after reattaching at {y}"
+        )
+    detour = Path(verts[x_index : y_index + 1])
+    return SingleReplacement(
+        fault=fault, path=path, divergence=x, reattach=y, detour=detour
+    )
+
+
+def earliest_divergence_index(
+    ctx: SourceContext,
+    v: int,
+    fault: Edge,
+    *,
+    linear: bool = False,
+) -> Optional[int]:
+    """Minimal ``k`` such that ``G(u_k, u_i) \\ {e_i}`` stays optimal.
+
+    ``fault = (u_i, u_{i+1})`` must lie on ``π(s, v)``.  Returns ``None``
+    when ``v`` is disconnected by the failure.  ``linear=True`` uses the
+    O(depth) reference scan instead of the binary search.
+    """
+    pi_path = ctx.pi(v)
+    upper = min(pi_path.position(fault[0]), pi_path.position(fault[1]))
+    target_dist = ctx.distance(v, banned_edges=(fault,))
+    if target_dist == INF:
+        return None
+
+    def feasible(k: int) -> bool:
+        banned_v = ctx.pi_segment_interior_ban(
+            pi_path, pi_path[k], pi_path[upper]
+        )
+        d = ctx.distance(v, banned_edges=(fault,), banned_vertices=banned_v)
+        return d == target_dist
+
+    if linear:
+        for k in range(upper + 1):
+            if feasible(k):
+                return k
+        raise ConstructionError("no feasible divergence index (k = i must work)")
+    lo, hi = 0, upper  # feasible(upper) always holds: G(u_i, u_i) = G.
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def single_replacement(
+    ctx: SourceContext,
+    v: int,
+    fault: Sequence[int],
+    *,
+    linear: bool = False,
+) -> Optional[SingleReplacement]:
+    """Compute the selected ``P_{s,v,{e_i}}`` with its decomposition.
+
+    Returns ``None`` when the failure disconnects ``v`` from ``s``.
+    """
+    e = normalize_edge(fault[0], fault[1])
+    pi_path = ctx.pi(v)
+    if not pi_path.has_edge(*e):
+        raise ConstructionError(f"fault {e} is not on π(s, {v})")
+    k = earliest_divergence_index(ctx, v, e, linear=linear)
+    if k is None:
+        return None
+    upper = min(pi_path.position(e[0]), pi_path.position(e[1]))
+    banned_v = ctx.pi_segment_interior_ban(pi_path, pi_path[k], pi_path[upper])
+    path = ctx.canonical_path(v, banned_edges=(e,), banned_vertices=banned_v)
+    return decompose_replacement(pi_path, path, e)
+
+
+def all_single_replacements(
+    ctx: SourceContext,
+    v: int,
+    *,
+    linear: bool = False,
+) -> Dict[Edge, Optional[SingleReplacement]]:
+    """``P_{s,v,{e_i}}`` for every ``e_i ∈ π(s, v)``, keyed by edge.
+
+    Entries are ``None`` for bridge edges whose removal disconnects
+    ``v``.  Keys iterate in π order (top to bottom).
+    """
+    pi_path = ctx.pi(v)
+    out: Dict[Edge, Optional[SingleReplacement]] = {}
+    for u, w in pi_path.directed_edges():
+        e = normalize_edge(u, w)
+        out[e] = single_replacement(ctx, v, e, linear=linear)
+    return out
+
+
+def plain_replacement_path(
+    ctx: SourceContext, v: int, fault: Sequence[int]
+) -> Optional[Path]:
+    """The canonical ``SP(s, v, G \\ {e}, W)`` with no divergence preference.
+
+    Used by ablation baselines; returns ``None`` if disconnected.
+    """
+    e = normalize_edge(fault[0], fault[1])
+    if ctx.distance(v, banned_edges=(e,)) == INF:
+        return None
+    return ctx.canonical_path(v, banned_edges=(e,))

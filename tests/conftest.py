@@ -1,0 +1,43 @@
+"""Shared fixtures: a zoo of small graphs exercised across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.generators import erdos_renyi, grid_graph, tree_plus_chords
+from tests.zoo import graph_zoo, zoo_params  # noqa: F401
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """s=0 with two parallel length-2 routes to 3, plus a long backup.
+
+    ::
+
+        0 - 1 - 3
+         \\- 2 -/
+        0 - 4 - 5 - 3
+    """
+    return Graph(6, [(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3)])
+
+
+@pytest.fixture
+def small_er() -> Graph:
+    return erdos_renyi(14, 0.2, seed=5)
+
+
+@pytest.fixture
+def medium_er() -> Graph:
+    return erdos_renyi(28, 0.12, seed=11)
+
+
+@pytest.fixture
+def chordal_tree() -> Graph:
+    return tree_plus_chords(16, 7, seed=3)
+
+
+@pytest.fixture
+def grid5() -> Graph:
+    return grid_graph(4, 5)
+

@@ -1,0 +1,110 @@
+"""Tests for the analysis toolkit (censuses and scaling fits)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    PowerLawFit,
+    detour_census,
+    fit_power_law,
+    format_table,
+    normalized_series,
+    path_class_census,
+    per_vertex_new_edges,
+)
+from repro.ftbfs import build_cons2ftbfs
+from repro.generators import erdos_renyi, tree_plus_chords
+from repro.replacement.classify import PathClass
+from repro.replacement.detours import DetourConfiguration
+
+
+class TestPowerLaw:
+    def test_exact_fit(self):
+        xs = [10, 20, 40, 80]
+        ys = [x ** 1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.alpha == pytest.approx(1.5)
+        assert fit.c == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_constant_factor(self):
+        xs = [10, 100, 1000]
+        ys = [7 * x ** 2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.alpha == pytest.approx(2.0)
+        assert fit.c == pytest.approx(7.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [3, 6, 12])
+        assert fit.predict(8) == pytest.approx(24.0)
+
+    def test_noise_tolerated(self):
+        xs = [16, 32, 64, 128]
+        ys = [x ** 1.66 * (1 + 0.05 * ((i % 2) * 2 - 1)) for i, x in enumerate(xs)]
+        fit = fit_power_law(xs, ys)
+        assert 1.5 < fit.alpha < 1.8
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [100])
+        with pytest.raises(ValueError):
+            fit_power_law([10, 10], [100, 200])
+
+    def test_nonpositive_filtered(self):
+        fit = fit_power_law([0, 10, 20], [5, 10, 20])
+        assert fit.alpha == pytest.approx(1.0)
+
+    def test_repr(self):
+        fit = fit_power_law([1, 2], [1, 2])
+        assert "alpha" in repr(fit)
+
+    def test_normalized_series(self):
+        series = normalized_series([4, 9], [8, 27], 1.5)
+        assert series == pytest.approx([1.0, 1.0])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+
+class TestCensuses:
+    @pytest.fixture(scope="class")
+    def structure(self):
+        g = tree_plus_chords(20, 10, seed=7)
+        return build_cons2ftbfs(g, 0, keep_records=True)
+
+    def test_detour_census_keys(self, structure):
+        census = detour_census(structure)
+        assert set(census) == set(DetourConfiguration)
+        assert all(v >= 0 for v in census.values())
+
+    def test_path_class_census_matches_new_edges(self, structure):
+        census = path_class_census(structure)
+        assert set(census) == set(PathClass)
+        total_classified = sum(census.values())
+        # each new-ending record corresponds to one classified path
+        expected = sum(
+            len(rec.pipi_records) + len(rec.new_ending)
+            for rec in structure.stats["records"]
+        )
+        assert total_classified == expected
+
+    def test_per_vertex_new_edges(self, structure):
+        per_v = per_vertex_new_edges(structure)
+        assert per_v == structure.stats["new_edges_per_vertex"]
+        per_v[0] = 999  # our copy, not the stats dict
+        assert structure.stats["new_edges_per_vertex"].get(0) != 999
+
+    def test_census_requires_records(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        h = build_cons2ftbfs(g, 0)
+        with pytest.raises(ValueError):
+            detour_census(h)
+        with pytest.raises(ValueError):
+            path_class_census(h)

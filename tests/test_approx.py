@@ -1,0 +1,106 @@
+"""Tests for the Θ(log n) set-cover approximation (Sec. 5)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConstructionError
+from repro.ftbfs import (
+    build_approx_ftmbfs,
+    build_cons2ftbfs,
+    optimum_bounds,
+    verify_structure,
+)
+from repro.ftbfs.approx import _exact_cover_size, _greedy_cover
+from repro.generators import cycle_graph, erdos_renyi, path_graph, tree_plus_chords
+
+from tests.zoo import zoo_params
+
+
+@zoo_params()
+def test_approx_structures_verify_f1(name, graph):
+    h = build_approx_ftmbfs(graph, [0], 1)
+    verify_structure(h)
+
+
+@zoo_params()
+def test_approx_structures_verify_f2(name, graph):
+    h = build_approx_ftmbfs(graph, [0], 2)
+    verify_structure(h)
+
+
+def test_approx_multi_source():
+    g = erdos_renyi(11, 0.3, seed=3)
+    h = build_approx_ftmbfs(g, [0, 5, 9], 1)
+    verify_structure(h)
+    assert set(h.sources) == {0, 5, 9}
+
+
+def test_approx_f3_tiny():
+    g = erdos_renyi(8, 0.4, seed=2)
+    h = build_approx_ftmbfs(g, [0], 3)
+    verify_structure(h)
+
+
+def test_approx_within_log_factor_of_lower_bound():
+    """|H| <= 2 * ln(|U|) * lower bound (generous; usually far better)."""
+    for seed in range(3):
+        g = erdos_renyi(10, 0.3, seed=seed)
+        h = build_approx_ftmbfs(g, [0], 1)
+        lower, upper = optimum_bounds(g, [0], 1)
+        universe = h.stats["universe_pairs"]
+        assert h.size <= max(1.0, math.log(universe) + 1) * 2 * lower
+        assert h.size >= lower
+
+
+def test_optimum_bounds_sandwich():
+    g = erdos_renyi(9, 0.35, seed=5)
+    lower, upper = optimum_bounds(g, [0], 1)
+    assert lower * 2 == upper
+    h = build_approx_ftmbfs(g, [0], 1)
+    # greedy per-vertex covers are at least the per-vertex optima
+    assert h.size >= lower
+
+
+def test_optimum_bounds_degree_guard():
+    g = erdos_renyi(12, 0.9, seed=1)
+    with pytest.raises(ConstructionError):
+        optimum_bounds(g, [0], 1, degree_limit=3)
+
+
+def test_greedy_cover_unit():
+    sets = {1: {0, 1, 2}, 2: {2, 3}, 3: {3}}
+    chosen = _greedy_cover(4, sets)
+    covered = set()
+    for u in chosen:
+        covered |= sets[u]
+    assert covered == {0, 1, 2, 3}
+    assert chosen[0] == 1  # largest gain first
+
+
+def test_greedy_cover_uncoverable():
+    with pytest.raises(ConstructionError):
+        _greedy_cover(3, {1: {0}})
+
+
+def test_exact_cover_unit():
+    sets = {1: {0, 1}, 2: {2, 3}, 3: {0, 1, 2, 3}}
+    assert _exact_cover_size(4, sets) == 1
+    sets = {1: {0, 1}, 2: {2, 3}, 3: {1, 2}}
+    assert _exact_cover_size(4, sets) == 2
+    assert _exact_cover_size(0, {}) == 0
+
+
+def test_approx_on_path_is_tree():
+    g = path_graph(6)
+    h = build_approx_ftmbfs(g, [0], 2)
+    assert h.size == 5  # the path itself; nothing else exists
+
+
+def test_approx_vs_cons2_sizes():
+    """On sparse-friendly instances greedy should not be wildly larger."""
+    g = tree_plus_chords(14, 4, seed=8)
+    greedy = build_approx_ftmbfs(g, [0], 2)
+    cons2 = build_cons2ftbfs(g, 0)
+    verify_structure(greedy)
+    assert greedy.size <= cons2.size * 2 + 5

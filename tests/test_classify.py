@@ -1,0 +1,156 @@
+"""Tests for the new-ending path classification (Sec. 3.3.2, Fig. 7)."""
+
+import pytest
+
+from repro.core.graph import normalize_edge
+from repro.ftbfs.cons2ftbfs import build_cons2ftbfs
+from repro.generators import erdos_renyi, tree_plus_chords
+from repro.replacement.classify import (
+    PathClass,
+    class_counts,
+    classify_new_ending,
+    d_interferes,
+    interferes,
+    pi_interferes,
+)
+
+from tests.zoo import zoo_params
+
+
+def classified_runs(graph, source=0):
+    h = build_cons2ftbfs(graph, source, keep_records=True)
+    out = []
+    for rec in h.stats["records"]:
+        all_new = rec.pipi_records + rec.new_ending
+        if not all_new:
+            continue
+        detour_map = {
+            normalize_edge(*s.fault): s
+            for s in rec.singles.values()
+            if s is not None
+        }
+        out.append((rec, classify_new_ending(rec.pi_path, all_new, detour_map)))
+    return out
+
+
+@zoo_params()
+def test_partition_is_total(name, graph):
+    for rec, classified in classified_runs(graph):
+        assert len(classified) == len(rec.pipi_records) + len(rec.new_ending)
+        for cp in classified:
+            assert cp.path_class in PathClass
+
+
+@zoo_params()
+def test_class_predicates_hold(name, graph):
+    for rec, classified in classified_runs(graph):
+        detour_map = {
+            normalize_edge(*s.fault): s
+            for s in rec.singles.values()
+            if s is not None
+        }
+        for cp in classified:
+            r = cp.record
+            if cp.path_class == PathClass.PIPI:
+                assert r.kind == "pipi"
+                continue
+            d = detour_map[normalize_edge(*r.first_fault)]
+            touches_detour = bool(r.path.edge_set() & d.detour.edge_set())
+            if cp.path_class == PathClass.NODET:
+                assert not touches_detour
+            else:
+                assert touches_detour
+            if cp.path_class == PathClass.INDEPENDENT:
+                assert not cp.interferes_with and not cp.interfered_by
+
+
+@zoo_params()
+def test_interference_symmetry_of_records(name, graph):
+    """interferes_with/interfered_by are mutually consistent."""
+    for rec, classified in classified_runs(graph):
+        for i, cp in enumerate(classified):
+            for j in cp.interferes_with:
+                assert i in classified[j].interfered_by
+            for j in cp.interfered_by:
+                assert i in classified[j].interferes_with
+
+
+@zoo_params()
+def test_counts_sum(name, graph):
+    for rec, classified in classified_runs(graph):
+        counts = class_counts(classified)
+        assert sum(counts.values()) == len(classified)
+
+
+class TestInterferencePredicates:
+    """Unit tests on hand-built configurations."""
+
+    def _mk(self):
+        from repro.core.paths import Path
+        from repro.replacement.dual import DualReplacement
+        from tests.test_detours import synthetic_rep, PI
+
+        # Detour D_j = 2-20-21-22-6 protecting (4,5); its fault t_j=(21,22).
+        d_j = synthetic_rep(PI, [2, 20, 21, 22, 6], (4, 5))
+        # P_i travels through edge (21, 22) after leaving its own detour.
+        d_i = synthetic_rep(PI, [1, 10, 11, 3], (1, 2))
+        p_i = DualReplacement(
+            first_fault=(1, 2),
+            second_fault=(10, 11),
+            path=Path([0, 1, 30, 21, 22, 31, 7]),
+            kind="pid",
+            pi_divergence=1,
+            detour_divergence=None,
+        )
+        p_j = DualReplacement(
+            first_fault=(4, 5),
+            second_fault=(21, 22),
+            path=Path([0, 2, 20, 21, 40, 7]),
+            kind="pid",
+            pi_divergence=2,
+            detour_divergence=21,
+        )
+        return d_i, d_j, p_i, p_j
+
+    def test_interferes(self):
+        d_i, d_j, p_i, p_j = self._mk()
+        assert interferes(p_i, d_i, p_j)
+        assert not interferes(p_j, d_j, p_i)  # (10,11) not on P_j
+
+    def test_pi_interference(self):
+        from repro.core.paths import Path
+        from tests.test_detours import PI
+
+        d_i, d_j, p_i, p_j = self._mk()
+        # y(D_j) = 6; F1(P_i) = (1,2) is NOT on pi[6..7] -> no pi-interference
+        assert not pi_interferes(Path(PI), p_i, p_j, d_j)
+
+    def test_d_interference(self):
+        d_i, d_j, p_i, p_j = self._mk()
+        # F2(P_i) = (10, 11) is not on D_j[22, 6] -> no D-interference
+        assert not d_interferes(p_i, p_j, d_j)
+
+    def test_d_interference_positive(self):
+        from repro.core.paths import Path
+        from repro.replacement.dual import DualReplacement
+        from tests.test_detours import synthetic_rep, PI
+
+        d_j = synthetic_rep(PI, [2, 20, 21, 22, 6], (4, 5))
+        p_j = DualReplacement(
+            first_fault=(4, 5),
+            second_fault=(20, 21),
+            path=Path([0, 2, 20, 40, 7]),
+            kind="pid",
+            pi_divergence=2,
+            detour_divergence=20,
+        )
+        # P_i's second fault (22, 6) lies on D_j[21, 6] (below q2=21).
+        p_i = DualReplacement(
+            first_fault=(1, 2),
+            second_fault=(22, 6),
+            path=Path([0, 1, 30, 20, 21, 31, 7]),
+            kind="pid",
+            pi_divergence=1,
+            detour_divergence=None,
+        )
+        assert d_interferes(p_i, p_j, d_j)

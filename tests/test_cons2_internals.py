@@ -1,0 +1,140 @@
+"""White-box tests for Algorithm Cons2FTBFS's internal steps."""
+
+import pytest
+
+from repro.core.graph import Graph, normalize_edge
+from repro.ftbfs.cons2ftbfs import (
+    _incident_tree_edges,
+    build_cons2ftbfs,
+    new_edge_profile,
+)
+from repro.generators import erdos_renyi, path_graph, tree_plus_chords
+from repro.replacement.base import SourceContext
+
+
+class TestIncidentTreeEdges:
+    def test_root_and_leaf(self):
+        g = path_graph(4)
+        ctx = SourceContext(g, 0)
+        assert _incident_tree_edges(ctx.tree, 1) == {(0, 1), (1, 2)}
+        assert _incident_tree_edges(ctx.tree, 3) == {(2, 3)}
+
+    def test_branching(self):
+        g = Graph(4, [(0, 1), (1, 2), (1, 3)])
+        ctx = SourceContext(g, 0)
+        assert _incident_tree_edges(ctx.tree, 1) == {(0, 1), (1, 2), (1, 3)}
+
+
+class TestAccounting:
+    @pytest.fixture(scope="class")
+    def run(self):
+        g = tree_plus_chords(24, 12, seed=41)
+        return g, build_cons2ftbfs(g, 0, keep_records=True)
+
+    def test_phase_counts_sum_to_new_edges(self, run):
+        g, h = run
+        for rec in h.stats["records"]:
+            total = rec.new_from_single + rec.new_from_pipi + rec.new_from_pid
+            assert total == len(rec.new_edges)
+
+    def test_new_edges_are_incident_to_vertex(self, run):
+        g, h = run
+        for rec in h.stats["records"]:
+            for e in rec.new_edges:
+                assert rec.vertex in e
+
+    def test_new_edges_not_in_tree(self, run):
+        g, h = run
+        tree_edges = SourceContext(g, 0).tree.edges()
+        for rec in h.stats["records"]:
+            incident_tree = _incident_tree_edges(
+                SourceContext(g, 0).tree, rec.vertex
+            )
+            assert not (rec.new_edges & incident_tree)
+
+    def test_structure_is_union_of_tree_and_new(self, run):
+        g, h = run
+        tree_edges = SourceContext(g, 0).tree.edges()
+        rebuilt = set(tree_edges)
+        for rec in h.stats["records"]:
+            rebuilt |= rec.new_edges
+        assert rebuilt == set(h.edges)
+
+    def test_new_ending_counts_match_pid_phase(self, run):
+        g, h = run
+        for rec in h.stats["records"]:
+            # every new pid edge comes from a new-ending record
+            assert rec.new_from_pid <= len(rec.new_ending)
+
+    def test_profile_sorted(self, run):
+        g, h = run
+        profile = new_edge_profile(h)
+        assert profile == sorted(profile, reverse=True)
+        assert sum(profile) == sum(h.stats["new_edges_per_vertex"].values())
+
+
+class TestStep3Ordering:
+    def test_pairs_enumerated_deepest_first(self):
+        """The (e, t) walk matches the paper's decreasing order."""
+        g = tree_plus_chords(18, 9, seed=42)
+        ctx = SourceContext(g, 0)
+        from repro.replacement.single import all_single_replacements
+
+        for v in list(ctx.tree.vertices())[1:8]:
+            pi_path = ctx.pi(v)
+            pi_edges = [normalize_edge(a, b) for a, b in pi_path.directed_edges()]
+            singles = all_single_replacements(ctx, v)
+            pairs = []
+            for e in reversed(pi_edges):
+                rep = singles[e]
+                if rep is None:
+                    continue
+                det_edges = [
+                    normalize_edge(a, b) for a, b in rep.detour.directed_edges()
+                ]
+                for t in reversed(det_edges):
+                    pairs.append((e, t, rep))
+            # primary key: e depth decreasing
+            depths = [pi_path.edge_position(e) for e, _, _ in pairs]
+            assert depths == sorted(depths, reverse=True)
+            # secondary: within equal e, t positions decreasing on detour
+            for i in range(len(pairs) - 1):
+                e1, t1, rep1 = pairs[i]
+                e2, t2, _ = pairs[i + 1]
+                if e1 == e2:
+                    p1 = rep1.detour.edge_position(t1)
+                    p2 = rep1.detour.edge_position(t2)
+                    assert p1 > p2
+
+
+class TestDeterminism:
+    def test_rebuild_identical(self):
+        g = erdos_renyi(20, 0.18, seed=44)
+        a = build_cons2ftbfs(g, 0)
+        b = build_cons2ftbfs(g, 0)
+        assert a.edges == b.edges
+        assert a.stats["new_edges_per_vertex"] == b.stats["new_edges_per_vertex"]
+
+    def test_engine_choice_changes_little(self):
+        from repro.core.canonical import PerturbedShortestPaths
+
+        g = erdos_renyi(18, 0.2, seed=45)
+        lex = build_cons2ftbfs(g, 0)
+        per = build_cons2ftbfs(g, 0, engine=PerturbedShortestPaths(g, seed=1))
+        # both valid; sizes within a small factor of each other
+        assert abs(lex.size - per.size) <= max(lex.size, per.size) * 0.25
+
+
+def test_pipi_phase_fires_on_adversarial_graph():
+    """Step 2 genuinely contributes new edges on G*_2 (class A of E9)."""
+    from repro.lowerbound import build_lower_bound_graph
+
+    inst = build_lower_bound_graph(92, 2)
+    h = build_cons2ftbfs(inst.graph, inst.sources[0], keep_records=True)
+    assert h.stats["new_edges_by_phase"]["pipi"] >= 1
+    pipi_records = [
+        r for rec in h.stats["records"] for r in rec.pipi_records
+    ]
+    assert pipi_records
+    for r in pipi_records:
+        assert r.kind == "pipi"

@@ -1,0 +1,214 @@
+"""Tests for detour structural theory (Sec. 3.2: Claims 3.6-3.12)."""
+
+import pytest
+
+from repro.core.paths import Path
+from repro.generators import erdos_renyi, tree_plus_chords
+from repro.replacement.base import SourceContext
+from repro.replacement.detours import (
+    DetourConfiguration,
+    are_dependent,
+    classify_pair,
+    common_segment_coincides,
+    configuration_census,
+    excluded_suffix,
+    first_common_vertex,
+    last_common_vertex,
+    order_pair,
+)
+from repro.replacement.single import SingleReplacement, all_single_replacements
+
+from tests.zoo import zoo_params
+
+
+def detour_sets(graph, source=0, max_targets=None):
+    """(ctx, [(v, pi, [detours])]) for every target with >= 1 detour."""
+    ctx = SourceContext(graph, source)
+    out = []
+    targets = [v for v in ctx.tree.vertices() if v != source]
+    for v in targets[:max_targets]:
+        reps = [
+            r for r in all_single_replacements(ctx, v).values() if r is not None
+        ]
+        if reps:
+            out.append((v, ctx.pi(v), reps))
+    return ctx, out
+
+
+def synthetic_rep(pi_vertices, detour_vertices, fault):
+    """Hand-built SingleReplacement for classification unit tests."""
+    pi = Path(pi_vertices)
+    detour = Path(detour_vertices)
+    prefix = pi.prefix(detour.source)
+    suffix = pi.suffix(detour.target)
+    path = prefix.concat(detour).concat(suffix)
+    return SingleReplacement(
+        fault=fault,
+        path=path,
+        divergence=detour.source,
+        reattach=detour.target,
+        detour=detour,
+    )
+
+
+PI = list(range(8))  # 0-1-2-...-7
+
+
+class TestClassification:
+    def base(self, d1, d2):
+        pi = Path(PI)
+        return classify_pair(pi, d1, d2).configuration
+
+    def test_non_nested(self):
+        d1 = synthetic_rep(PI, [1, 10, 11, 2], (1, 2))
+        d2 = synthetic_rep(PI, [4, 12, 13, 5], (4, 5))
+        assert self.base(d1, d2) == DetourConfiguration.NON_NESTED
+
+    def test_nested(self):
+        d1 = synthetic_rep(PI, [1, 10, 11, 12, 13, 6], (2, 3))
+        d2 = synthetic_rep(PI, [2, 20, 21, 4], (2, 3))
+        assert self.base(d1, d2) == DetourConfiguration.NESTED
+
+    def test_interleaved_independent(self):
+        d1 = synthetic_rep(PI, [1, 10, 11, 4], (1, 2))
+        d2 = synthetic_rep(PI, [2, 20, 21, 6], (4, 5))
+        assert self.base(d1, d2) == DetourConfiguration.INTERLEAVED_INDEPENDENT
+
+    def test_fw_interleaved(self):
+        # shared middle segment [30, 31] traversed in the same direction
+        d1 = synthetic_rep(PI, [1, 30, 31, 4], (1, 2))
+        d2 = synthetic_rep(PI, [2, 30, 31, 6], (4, 5))
+        assert self.base(d1, d2) == DetourConfiguration.FW_INTERLEAVED
+
+    def test_rev_interleaved(self):
+        # shared segment traversed in opposite directions
+        d1 = synthetic_rep(PI, [1, 30, 31, 4], (1, 2))
+        d2 = synthetic_rep(PI, [2, 31, 30, 6], (4, 5))
+        assert self.base(d1, d2) == DetourConfiguration.REV_INTERLEAVED
+
+    def test_x_interleaved(self):
+        d1 = synthetic_rep(PI, [1, 10, 11, 3], (1, 2))
+        d2 = synthetic_rep(PI, [1, 20, 21, 5], (1, 2))
+        assert self.base(d1, d2) == DetourConfiguration.X_INTERLEAVED
+
+    def test_y_interleaved(self):
+        d1 = synthetic_rep(PI, [1, 10, 11, 5], (1, 2))
+        d2 = synthetic_rep(PI, [2, 20, 21, 5], (3, 4))
+        assert self.base(d1, d2) == DetourConfiguration.Y_INTERLEAVED
+
+    def test_xy_interleaved(self):
+        d1 = synthetic_rep(PI, [1, 10, 11, 3], (1, 2))
+        d2 = synthetic_rep(PI, [3, 20, 21, 6], (3, 4))
+        assert self.base(d1, d2) == DetourConfiguration.XY_INTERLEAVED
+
+    def test_equal_endpoints(self):
+        d1 = synthetic_rep(PI, [1, 10, 11, 4], (1, 2))
+        d2 = synthetic_rep(PI, [1, 20, 21, 4], (2, 3))
+        assert self.base(d1, d2) == DetourConfiguration.EQUAL_ENDPOINTS
+
+    def test_order_insensitive(self):
+        pi = Path(PI)
+        d1 = synthetic_rep(PI, [1, 10, 11, 2], (1, 2))
+        d2 = synthetic_rep(PI, [4, 12, 13, 5], (4, 5))
+        a = classify_pair(pi, d1, d2)
+        b = classify_pair(pi, d2, d1)
+        assert a.configuration == b.configuration
+        assert a.first is b.first and a.second is b.second
+
+    def test_order_pair_tie_break(self):
+        pi = Path(PI)
+        d1 = synthetic_rep(PI, [1, 10, 11, 3], (1, 2))
+        d2 = synthetic_rep(PI, [1, 20, 21, 5], (1, 2))
+        first, second = order_pair(pi, d2, d1)
+        assert first is d1 and second is d2
+
+
+class TestHelpers:
+    def test_first_last_common(self):
+        a = Path([0, 1, 2, 3])
+        b = Path([9, 2, 1, 8])
+        assert first_common_vertex(a, b) == 1
+        assert last_common_vertex(a, b) == 2
+
+    def test_are_dependent(self):
+        d1 = synthetic_rep(PI, [1, 30, 31, 4], (1, 2))
+        d2 = synthetic_rep(PI, [2, 30, 31, 6], (4, 5))
+        d3 = synthetic_rep(PI, [2, 40, 41, 6], (4, 5))
+        assert are_dependent(d1, d2)
+        assert not are_dependent(d1, d3)
+
+    def test_common_segment_coincides_true(self):
+        d1 = Path([1, 30, 31, 4])
+        d2 = Path([2, 30, 31, 6])
+        assert common_segment_coincides(d1, d2)
+
+    def test_common_segment_coincides_reverse(self):
+        assert common_segment_coincides(Path([1, 30, 31, 4]), Path([2, 31, 30, 6]))
+
+    def test_common_segment_violation_detected(self):
+        # shares {30, 32} but not the middle: not one common subpath
+        d1 = Path([1, 30, 31, 32, 4])
+        d2 = Path([2, 30, 33, 32, 6])
+        assert not common_segment_coincides(d1, d2)
+
+    def test_single_common_vertex_trivially_ok(self):
+        assert common_segment_coincides(Path([1, 30, 4]), Path([2, 30, 6]))
+        assert common_segment_coincides(Path([1, 30, 4]), Path([2, 31, 6]))
+
+
+class TestPaperClaimsOnRealGraphs:
+    """Claims 3.6, 3.8, 3.9 checked on the detours the library computes."""
+
+    @zoo_params()
+    def test_claim_3_6_common_segments(self, name, graph):
+        _, data = detour_sets(graph)
+        for _, pi, reps in data:
+            for i in range(len(reps)):
+                for j in range(i + 1, len(reps)):
+                    assert common_segment_coincides(
+                        reps[i].detour, reps[j].detour
+                    ), f"{name}: claim 3.6 violated"
+
+    @zoo_params()
+    def test_claim_3_8_non_nested_independent(self, name, graph):
+        _, data = detour_sets(graph)
+        for _, pi, reps in data:
+            for i in range(len(reps)):
+                for j in range(i + 1, len(reps)):
+                    pair = classify_pair(pi, reps[i], reps[j])
+                    if pair.configuration == DetourConfiguration.NON_NESTED:
+                        assert not pair.dependent, f"{name}: claim 3.8 violated"
+
+    @zoo_params()
+    def test_claim_3_9_nested_independent(self, name, graph):
+        _, data = detour_sets(graph)
+        for _, pi, reps in data:
+            for i in range(len(reps)):
+                for j in range(i + 1, len(reps)):
+                    pair = classify_pair(pi, reps[i], reps[j])
+                    if pair.configuration == DetourConfiguration.NESTED:
+                        assert not pair.dependent, f"{name}: claim 3.9 violated"
+
+    def test_census_totals(self):
+        g = erdos_renyi(20, 0.18, seed=6)
+        _, data = detour_sets(g)
+        for _, pi, reps in data:
+            census = configuration_census(pi, reps)
+            assert sum(census.values()) == len(reps) * (len(reps) - 1) // 2
+
+
+class TestExcludedSuffix:
+    def test_precondition_filtering(self):
+        pi = Path(PI)
+        d1 = synthetic_rep(PI, [1, 10, 11, 2], (1, 2))
+        d2 = synthetic_rep(PI, [4, 12, 13, 5], (4, 5))
+        assert excluded_suffix(pi, d1, d2) is None  # non-nested: no L1
+
+    def test_fw_interleaved_suffix(self):
+        pi = Path(PI)
+        d1 = synthetic_rep(PI, [1, 30, 31, 4], (1, 2))
+        d2 = synthetic_rep(PI, [2, 30, 31, 6], (4, 5))
+        seg = excluded_suffix(pi, d1, d2)
+        assert seg is not None
+        # w = Last(D2, D1) = 31; L1 = D1[31, y1=4]
+        assert seg.vertices == (31, 4)

@@ -1,0 +1,58 @@
+"""Tests for FT-diameter and the Observation 1.6 bound."""
+
+from repro.core.canonical import DistanceOracle, UNREACHED
+from repro.ftbfs import (
+    build_generic_ftbfs,
+    ft_diameter,
+    observation_1_6_bound,
+)
+from repro.generators import complete_graph, cycle_graph, erdos_renyi, path_graph
+
+
+def test_ft_diameter_f1_is_eccentricity():
+    """f=1 allows no faults (|F| <= 0): D_1 = plain BFS depth."""
+    g = path_graph(6)
+    assert ft_diameter(g, 0, 1) == 5
+    assert ft_diameter(g, 2, 1) == 3
+
+
+def test_ft_diameter_cycle():
+    g = cycle_graph(8)
+    assert ft_diameter(g, 0, 1) == 4
+    # one failure can force the long way round
+    assert ft_diameter(g, 0, 2) == 7
+
+
+def test_ft_diameter_ignores_disconnection():
+    g = path_graph(4)
+    # every single fault disconnects something; remaining distances small
+    assert ft_diameter(g, 0, 2) == 3
+
+
+def test_ft_diameter_complete():
+    g = complete_graph(6)
+    assert ft_diameter(g, 0, 1) == 1
+    assert ft_diameter(g, 0, 2) == 2
+
+
+def test_ft_diameter_brute_force_agreement():
+    g = erdos_renyi(10, 0.3, seed=3)
+    oracle = DistanceOracle(g)
+    best = max(d for d in oracle.distances_from(0) if d != UNREACHED)
+    for e in sorted(g.edges()):
+        ds = [d for d in oracle.distances_from(0, banned_edges=(e,)) if d != UNREACHED]
+        best = max(best, max(ds))
+    assert ft_diameter(g, 0, 2) == best
+
+
+def test_observation_1_6_bound_holds():
+    """|H_generic| <= D_f^f * n on small dense graphs (Obs. 1.6)."""
+    for seed in range(3):
+        g = erdos_renyi(10, 0.5, seed=seed)
+        h = build_generic_ftbfs(g, 0, 2)
+        assert h.size <= observation_1_6_bound(g, 0, 2)
+
+
+def test_observation_bound_value():
+    g = complete_graph(5)
+    assert observation_1_6_bound(g, 0, 2) == ft_diameter(g, 0, 2) ** 2 * 5

@@ -1,0 +1,219 @@
+"""Tests for dual-failure replacement path selection (Steps 2 & 3)."""
+
+import pytest
+
+from repro.core.canonical import INF
+from repro.core.errors import ConstructionError
+from repro.core.graph import normalize_edge
+from repro.generators import erdos_renyi, tree_plus_chords
+from repro.replacement.base import SourceContext
+from repro.replacement.dual import (
+    earliest_detour_divergence,
+    earliest_pi_divergence,
+    pid_replacement,
+    pipi_replacement,
+    plain_dual_replacement,
+)
+from repro.replacement.single import all_single_replacements
+
+from tests.zoo import zoo_params
+
+
+def iter_pipi_cases(ctx, v):
+    pi_path = ctx.pi(v)
+    pi_edges = [normalize_edge(a, b) for a, b in pi_path.directed_edges()]
+    singles = all_single_replacements(ctx, v)
+    for i in range(len(pi_edges)):
+        if singles[pi_edges[i]] is None:
+            continue
+        for j in range(i + 1, len(pi_edges)):
+            if singles[pi_edges[j]] is None:
+                continue
+            yield singles[pi_edges[i]], singles[pi_edges[j]]
+
+
+def iter_pid_cases(ctx, v):
+    singles = all_single_replacements(ctx, v)
+    for rep in singles.values():
+        if rep is None:
+            continue
+        for a, b in rep.detour.directed_edges():
+            yield rep, normalize_edge(a, b)
+
+
+@zoo_params()
+def test_pipi_paths_are_optimal(name, graph):
+    ctx = SourceContext(graph, 0)
+    for v in ctx.tree.vertices():
+        if v == 0:
+            continue
+        for upper, lower in iter_pipi_cases(ctx, v):
+            rec = pipi_replacement(ctx, v, upper, lower)
+            faults = (upper.fault, lower.fault)
+            true = ctx.distance(v, banned_edges=faults)
+            if rec is None:
+                assert true == INF
+                continue
+            assert len(rec.path) == true
+            assert not (set(faults) & rec.path.edge_set())
+            assert rec.kind == "pipi"
+
+
+@zoo_params()
+def test_pid_paths_are_optimal(name, graph):
+    ctx = SourceContext(graph, 0)
+    for v in ctx.tree.vertices():
+        if v == 0:
+            continue
+        for rep, t in iter_pid_cases(ctx, v):
+            rec = pid_replacement(ctx, v, rep, t)
+            faults = (rep.fault, t)
+            true = ctx.distance(v, banned_edges=faults)
+            if rec is None:
+                assert true == INF
+                continue
+            assert len(rec.path) == true
+            assert not (set(faults) & rec.path.edge_set())
+            assert rec.kind == "pid"
+
+
+@zoo_params()
+def test_no_fallbacks_for_new_ending_pairs(name, graph):
+    """Lemma 3.1's guarantee: the structured selection always succeeds
+    for pairs that are *new-ending* with respect to the algorithm's
+    state (pairs already satisfied by ``G_{τ-1}(v)`` may legitimately
+    lack a ``G_D(w_ℓ)``-shaped shortest path and fall back — the
+    algorithm never asks for them)."""
+    from repro.ftbfs.cons2ftbfs import build_cons2ftbfs
+
+    h = build_cons2ftbfs(graph, 0)
+    assert h.stats["fallbacks"] == 0
+
+
+@zoo_params()
+def test_pid_fallback_paths_still_optimal(name, graph):
+    """Even direct calls on non-new-ending pairs return optimal paths."""
+    ctx = SourceContext(graph, 0)
+    for v in ctx.tree.vertices():
+        if v == 0:
+            continue
+        for rep, t in iter_pid_cases(ctx, v):
+            rec = pid_replacement(ctx, v, rep, t)
+            if rec is not None and rec.fallback:
+                true = ctx.distance(v, banned_edges=(rep.fault, t))
+                assert len(rec.path) == true
+
+
+def test_pid_divergence_preferences(medium_er):
+    """b(P) is the highest feasible divergence; Claim 3.15(1)."""
+    ctx = SourceContext(medium_er, 0)
+    checked = 0
+    for v in list(ctx.tree.vertices())[1:12]:
+        pi_path = ctx.pi(v)
+        for rep, t in iter_pid_cases(ctx, v):
+            rec = pid_replacement(ctx, v, rep, t)
+            if rec is None or rec.fallback:
+                continue
+            b = rec.pi_divergence
+            assert b is not None
+            upper_index = min(
+                pi_path.position(rep.fault[0]), pi_path.position(rep.fault[1])
+            )
+            k = earliest_pi_divergence(
+                ctx, v, (rep.fault, t), upper_index
+            )
+            if k is not None:
+                assert pi_path.position(b) <= k or pi_path.position(b) == k
+                checked += 1
+    assert checked > 0
+
+
+def test_pid_linear_matches_binary(medium_er):
+    ctx = SourceContext(medium_er, 0)
+    import itertools
+
+    cases = 0
+    for v in list(ctx.tree.vertices())[1:8]:
+        pi_path = ctx.pi(v)
+        for rep, t in itertools.islice(iter_pid_cases(ctx, v), 6):
+            faults = (rep.fault, t)
+            upper_index = min(
+                pi_path.position(rep.fault[0]), pi_path.position(rep.fault[1])
+            )
+            fast = earliest_pi_divergence(ctx, v, faults, upper_index)
+            slow = earliest_pi_divergence(
+                ctx, v, faults, upper_index, linear=True
+            )
+            assert fast == slow
+            cases += 1
+    assert cases > 0
+
+
+def test_detour_divergence_linear_matches_binary(medium_er):
+    ctx = SourceContext(medium_er, 0)
+    cases = 0
+    for v in list(ctx.tree.vertices())[1:10]:
+        pi_path = ctx.pi(v)
+        for rep, t in iter_pid_cases(ctx, v):
+            faults = (rep.fault, t)
+            target = ctx.distance(v, banned_edges=faults)
+            if target == INF:
+                continue
+            pi_ban = ctx.pi_segment_interior_ban(pi_path, rep.x, v)
+            fast = earliest_detour_divergence(
+                ctx, v, faults, rep.detour, t, target, pi_ban
+            )
+            slow = earliest_detour_divergence(
+                ctx, v, faults, rep.detour, t, target, pi_ban, linear=True
+            )
+            assert fast == slow
+            cases += 1
+    assert cases > 0
+
+
+def test_pid_second_fault_off_detour_rejected(small_er):
+    ctx = SourceContext(small_er, 0)
+    for v in list(ctx.tree.vertices())[1:]:
+        singles = all_single_replacements(ctx, v)
+        reps = [r for r in singles.values() if r is not None]
+        if not reps:
+            continue
+        rep = reps[0]
+        off = next(
+            e
+            for e in sorted(small_er.edges())
+            if not rep.detour.has_edge(*e)
+        )
+        with pytest.raises(ConstructionError):
+            pid_replacement(ctx, v, rep, off)
+        return
+    pytest.skip("no usable target")
+
+
+def test_plain_dual_replacement(small_er):
+    ctx = SourceContext(small_er, 0)
+    edges = sorted(small_er.edges())
+    p = plain_dual_replacement(ctx, 5, (edges[0], edges[1]))
+    true = ctx.distance(5, banned_edges=edges[:2])
+    if p is None:
+        assert true == INF
+    else:
+        assert len(p) == true
+
+
+def test_pipi_composed_flag_consistency(chordal_tree):
+    """When the composed candidate is used it must be optimal (re-check)."""
+    ctx = SourceContext(chordal_tree, 0)
+    composed_seen = 0
+    for v in list(ctx.tree.vertices())[1:]:
+        for upper, lower in iter_pipi_cases(ctx, v):
+            rec = pipi_replacement(ctx, v, upper, lower)
+            if rec is None:
+                continue
+            if rec.composed:
+                composed_seen += 1
+                true = ctx.distance(v, banned_edges=rec.faults)
+                assert len(rec.path) == true
+    # composed candidates are graph-dependent; just record that the flag
+    # machinery ran without violating optimality.
+    assert composed_seen >= 0

@@ -1,0 +1,183 @@
+"""Correctness tests for every FT-BFS builder (exhaustive verification)."""
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.ftbfs import (
+    build_cons2ftbfs,
+    build_dense_union,
+    build_dual_ftbfs_simple,
+    build_ft_mbfs,
+    build_generic_ftbfs,
+    build_single_ftbfs,
+    verify_structure,
+    verify_structure_sampled,
+)
+from repro.core.canonical import PerturbedShortestPaths
+from repro.generators import erdos_renyi, path_graph, tree_plus_chords
+
+from tests.zoo import graph_zoo, zoo_params
+
+BUILDERS_F2 = [
+    ("cons2", lambda g: build_cons2ftbfs(g, 0)),
+    ("simple", lambda g: build_dual_ftbfs_simple(g, 0)),
+    ("generic2", lambda g: build_generic_ftbfs(g, 0, 2)),
+    ("dense2", lambda g: build_dense_union(g, 0, 2)),
+]
+
+
+@zoo_params()
+@pytest.mark.parametrize(
+    "bname,builder", BUILDERS_F2, ids=[b[0] for b in BUILDERS_F2]
+)
+def test_dual_builders_exhaustive(name, graph, bname, builder):
+    h = builder(graph)
+    verify_structure(h)
+    assert h.max_faults == 2
+    assert h.sources == (0,)
+    assert h.edges <= graph.edges()
+
+
+@zoo_params()
+def test_single_builder_exhaustive(name, graph):
+    h = build_single_ftbfs(graph, 0)
+    verify_structure(h)
+    assert h.max_faults == 1
+
+
+@zoo_params()
+def test_structures_contain_bfs_tree(name, graph):
+    from repro.core.tree import BFSTree
+
+    t0 = BFSTree(graph, 0).edges()
+    for bname, builder in BUILDERS_F2:
+        assert t0 <= builder(graph).edges, f"{bname} misses T0 edges"
+
+
+@zoo_params()
+def test_size_ordering(name, graph):
+    """Sparse builders never exceed the dense union; all within G."""
+    dense = build_dense_union(graph, 0, 2)
+    for bname, builder in [b for b in BUILDERS_F2 if b[0] != "dense2"]:
+        h = builder(graph)
+        assert h.size <= dense.size + 1, f"{bname} denser than the dense union"
+
+
+@zoo_params()
+def test_generic_f1_matches_single_contract(name, graph):
+    """f=1 generic builder verifies as a single-failure structure."""
+    h = build_generic_ftbfs(graph, 0, 1)
+    verify_structure(h)
+    assert h.max_faults == 1
+
+
+def test_generic_f0_is_bfs_tree():
+    g = erdos_renyi(12, 0.3, seed=1)
+    from repro.core.tree import BFSTree
+
+    h = build_generic_ftbfs(g, 0, 0)
+    assert h.edges == BFSTree(g, 0).edges()
+    verify_structure(h)
+
+
+def test_generic_f3_small():
+    g = erdos_renyi(9, 0.35, seed=4)
+    h = build_generic_ftbfs(g, 0, 3)
+    verify_structure(h)
+
+
+def test_generic_rejects_negative_f():
+    with pytest.raises(ValueError):
+        build_generic_ftbfs(path_graph(3), 0, -1)
+
+
+def test_cons2_with_perturbed_engine():
+    g = erdos_renyi(14, 0.2, seed=8)
+    eng = PerturbedShortestPaths(g, seed=21)
+    h = build_cons2ftbfs(g, 0, engine=eng)
+    verify_structure(h)
+    assert h.stats["fallbacks"] == 0
+
+
+def test_cons2_stats_shape():
+    g = erdos_renyi(15, 0.2, seed=2)
+    h = build_cons2ftbfs(g, 0)
+    stats = h.stats
+    assert set(stats["new_edges_by_phase"]) == {"single", "pipi", "pid"}
+    assert stats["max_new_edges"] == max(
+        stats["new_edges_per_vertex"].values(), default=0
+    )
+    assert "records" not in stats
+    h2 = build_cons2ftbfs(g, 0, keep_records=True)
+    assert len(h2.stats["records"]) == len(
+        [v for v in h2.stats["new_edges_per_vertex"]]
+    )
+    assert h2.edges == h.edges
+
+
+def test_cons2_different_sources():
+    g = erdos_renyi(14, 0.22, seed=10)
+    for s in (0, 3, 9):
+        h = build_cons2ftbfs(g, s)
+        verify_structure(h)
+        assert h.source == s
+
+
+def test_disconnected_graph_handled():
+    g = Graph(7, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    for bname, builder in BUILDERS_F2:
+        h = builder(g)
+        verify_structure(h)  # equality of inf distances included
+
+
+def test_multi_source_union():
+    g = erdos_renyi(12, 0.25, seed=5)
+    h = build_ft_mbfs(g, [0, 4, 7], 2)
+    verify_structure(h)
+    assert set(h.sources) == {0, 4, 7}
+    assert set(h.stats["per_source_size"]) == {0, 4, 7}
+
+
+def test_multi_source_with_custom_builder():
+    g = erdos_renyi(12, 0.25, seed=6)
+    h = build_ft_mbfs(g, [0, 3], 2, builder=build_cons2ftbfs)
+    verify_structure(h)
+
+
+def test_multi_source_rejects_weak_builder():
+    g = erdos_renyi(10, 0.3, seed=7)
+    with pytest.raises(ValueError):
+        build_ft_mbfs(g, [0, 2], 2, builder=build_single_ftbfs)
+
+
+def test_sampled_verification_medium():
+    g = erdos_renyi(40, 0.08, seed=9)
+    h = build_cons2ftbfs(g, 0)
+    verify_structure_sampled(h, samples=120, seed=1)
+
+
+def test_star_graph_trivial():
+    g = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+    h = build_cons2ftbfs(g, 0)
+    assert h.size == 4  # every edge is a bridge; H = G
+    verify_structure(h)
+
+
+def test_single_failure_stats():
+    g = erdos_renyi(18, 0.2, seed=3)
+    h = build_single_ftbfs(g, 0)
+    assert h.stats["tree_edges"] + h.stats["new_edges"] == h.size
+    assert h.stats["searches"] == h.stats["tree_edges"]
+
+
+@pytest.mark.parametrize(
+    "edges,source",
+    [([], 0), ([(0, 1)], 0), ([(2, 3)], 0)],
+    ids=["isolated", "single-edge", "source-isolated"],
+)
+def test_degenerate_graphs(edges, source):
+    n = 1 + max((max(e) for e in edges), default=0)
+    g = Graph(max(n, source + 1), edges)
+    for builder in (build_cons2ftbfs, build_single_ftbfs):
+        verify_structure(builder(g, source))
+    verify_structure(build_generic_ftbfs(g, source, 2))

@@ -1,0 +1,123 @@
+"""Tests for the workload graph generators."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.generators import (
+    barbell_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    gnm_random,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_regularish,
+    random_tree,
+    torus_graph,
+    tree_plus_chords,
+)
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        assert erdos_renyi(20, 0.2, seed=1) == erdos_renyi(20, 0.2, seed=1)
+
+    def test_seed_changes_graph(self):
+        assert erdos_renyi(20, 0.2, seed=1) != erdos_renyi(20, 0.2, seed=2)
+
+    def test_connected_by_default(self):
+        for seed in range(5):
+            assert erdos_renyi(30, 0.02, seed=seed).is_connected()
+
+    def test_not_forced_connected(self):
+        g = erdos_renyi(40, 0.0, seed=0, ensure_connected=False)
+        assert g.m == 0
+
+    def test_p_bounds(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(5, 1.5)
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi(6, 1.0, seed=0)
+        assert g.m == 15
+
+
+class TestGnm:
+    def test_edge_count(self):
+        g = gnm_random(20, 40, seed=3)
+        assert g.m >= 40  # spanning tree may exceed request; never below
+        assert g.is_connected()
+
+    def test_too_many_edges(self):
+        with pytest.raises(GraphError):
+            gnm_random(4, 10)
+
+
+class TestTrees:
+    def test_random_tree_edge_count(self):
+        g = random_tree(25, seed=2)
+        assert g.m == 24
+        assert g.is_connected()
+
+    def test_tree_plus_chords(self):
+        g = tree_plus_chords(20, 6, seed=1)
+        assert g.m >= 19
+        assert g.is_connected()
+
+
+class TestStructured:
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+    def test_torus(self):
+        g = torus_graph(3, 3)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        with pytest.raises(GraphError):
+            torus_graph(2, 5)
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.m == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.m == 12
+        assert all(g.degree(v) == 4 for v in range(3))
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        with pytest.raises(GraphError):
+            hypercube_graph(0)
+
+    def test_barbell(self):
+        g = barbell_graph(4, 3)
+        assert g.is_connected()
+        assert g.n == 2 * 4 + 2
+        with pytest.raises(GraphError):
+            barbell_graph(1, 1)
+
+    def test_regularish(self):
+        g = random_regularish(20, 4, seed=5)
+        assert g.is_connected()
+        assert max(g.degree(v) for v in g.vertices()) <= 5
+        with pytest.raises(GraphError):
+            random_regularish(5, 1)

@@ -1,0 +1,161 @@
+"""Unit tests for the graph substrate."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.graph import (
+    Graph,
+    graph_from_edges,
+    normalize_edge,
+    normalize_edges,
+    union_edge_sets,
+)
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(3, 1) == (1, 3)
+        assert normalize_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            normalize_edge(2, 2)
+
+    def test_normalize_edges_dedupes(self):
+        assert normalize_edges([(1, 2), (2, 1), [1, 2]]) == frozenset({(1, 2)})
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0 and g.m == 0
+        assert list(g.vertices()) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_initial_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.m == 3
+        assert g.has_edge(2, 1)
+
+    def test_add_edge_idempotent(self):
+        g = Graph(3)
+        e1 = g.add_edge(0, 1)
+        e2 = g.add_edge(1, 0)
+        assert e1 == e2 == (0, 1)
+        assert g.m == 1
+        assert g.degree(0) == 1
+
+    def test_add_edge_out_of_range(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 5)
+
+    def test_add_vertex_and_vertices(self):
+        g = Graph(1)
+        assert g.add_vertex() == 1
+        assert g.add_vertices(3) == [2, 3, 4]
+        assert g.n == 5
+        with pytest.raises(GraphError):
+            g.add_vertices(-1)
+
+    def test_add_path(self):
+        g = Graph(4)
+        edges = g.add_path([0, 1, 2, 3])
+        assert edges == [(0, 1), (1, 2), (2, 3)]
+        assert g.m == 3
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        g = Graph(5, [(0, 4), (0, 1), (0, 3)])
+        assert g.neighbors(0) == [1, 3, 4]
+
+    def test_incident_edges(self):
+        g = Graph(4, [(2, 0), (2, 3)])
+        assert sorted(g.incident_edges(2)) == [(0, 2), (2, 3)]
+
+    def test_has_edge_self(self):
+        g = Graph(3, [(0, 1)])
+        assert not g.has_edge(1, 1)
+
+    def test_contains(self):
+        g = Graph(3, [(0, 1)])
+        assert 2 in g
+        assert 3 not in g
+        assert (1, 0) in g
+        assert (1, 2) not in g
+        assert "x" not in g
+
+    def test_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(3) == 1
+
+    def test_equality(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        c = Graph(3, [(0, 2)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph(1))
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1)"
+
+
+class TestDerivedGraphs:
+    def test_copy_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.m == 1 and h.m == 2
+
+    def test_without_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        h = g.without_edges([(2, 1)])
+        assert h.m == 2
+        assert not h.has_edge(1, 2)
+        assert h.n == g.n
+
+    def test_edge_subgraph(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        h = g.edge_subgraph([(0, 1), (2, 3)])
+        assert h.m == 2 and h.n == 4
+
+    def test_edge_subgraph_rejects_foreign_edges(self):
+        g = Graph(4, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.edge_subgraph([(0, 3)])
+
+
+class TestConnectivity:
+    def test_connected_component(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert g.connected_component(0) == {0, 1, 2}
+        assert g.connected_component(4) == {3, 4}
+
+    def test_is_connected(self):
+        assert Graph(1).is_connected()
+        assert Graph(0).is_connected()
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+
+
+class TestHelpers:
+    def test_graph_from_edges(self):
+        g = graph_from_edges([(0, 1), (1, 4)])
+        assert (g.n, g.m) == (5, 2)
+
+    def test_graph_from_edges_empty(self):
+        g = graph_from_edges([])
+        assert (g.n, g.m) == (0, 0)
+
+    def test_union_edge_sets(self):
+        assert union_edge_sets([(0, 1)], [(0, 1), (1, 2)]) == {(0, 1), (1, 2)}

@@ -1,0 +1,123 @@
+"""End-to-end integration scenarios across the whole library."""
+
+import pytest
+
+from repro import (
+    FTQueryOracle,
+    build_approx_ftmbfs,
+    build_cons2ftbfs,
+    build_dual_ftbfs_simple,
+    build_generic_ftbfs,
+    build_single_ftbfs,
+    erdos_renyi,
+    load_structure,
+    save_structure,
+    structure_stretch,
+    tree_plus_chords,
+    verify_structure_sampled,
+)
+from repro.core.canonical import LexShortestPaths, PerturbedShortestPaths
+from repro.ftbfs import prune_to_minimal, verify_structure
+from repro.ftbfs.sensitivity import DualFaultDistanceOracle
+from repro.generators import sample_queries
+
+
+ENGINES = [
+    ("lex", lambda g: LexShortestPaths(g)),
+    ("perturbed", lambda g: PerturbedShortestPaths(g, seed=99)),
+]
+
+
+@pytest.mark.parametrize("ename,make_engine", ENGINES, ids=[e[0] for e in ENGINES])
+@pytest.mark.parametrize(
+    "bname,builder",
+    [
+        ("single", lambda g, s, e: build_single_ftbfs(g, s, engine=e)),
+        ("cons2", lambda g, s, e: build_cons2ftbfs(g, s, engine=e)),
+        ("simple", lambda g, s, e: build_dual_ftbfs_simple(g, s, engine=e)),
+        ("generic2", lambda g, s, e: build_generic_ftbfs(g, s, 2, engine=e)),
+    ],
+    ids=["single", "cons2", "simple", "generic2"],
+)
+def test_builders_cross_engine(ename, make_engine, bname, builder):
+    """Every builder is exact under both tie-breaking engines."""
+    g = erdos_renyi(13, 0.25, seed=77)
+    h = builder(g, 0, make_engine(g))
+    verify_structure(h)
+
+
+def test_full_lifecycle(tmp_path):
+    """Build -> verify -> persist -> reload -> query -> stretch -> prune."""
+    g = tree_plus_chords(30, 15, seed=55)
+    h = build_cons2ftbfs(g, 0)
+    verify_structure_sampled(h, samples=150, seed=5)
+
+    path = tmp_path / "structure.json"
+    save_structure(h, path)
+    back = load_structure(path)
+    assert back.edges == h.edges
+
+    oracle = FTQueryOracle(back)
+    sens = DualFaultDistanceOracle(g, 0, structure=back)
+    from repro.core.canonical import DistanceOracle
+
+    truth = DistanceOracle(g)
+    for v, faults in sample_queries(g, 2, 80, seed=6):
+        want = truth.distance(0, v, banned_edges=faults)
+        assert oracle.distance(0, v, faults) == want
+        assert sens.distance(v, faults) == want
+
+    profile = structure_stretch(back, 2)
+    assert profile.exact_fraction == 1.0
+
+    tiny = erdos_renyi(9, 0.4, seed=1)
+    small = prune_to_minimal(tiny, build_cons2ftbfs(tiny, 0))
+    verify_structure(small)
+
+
+def test_builder_size_hierarchy_medium():
+    """On a medium instance the expected size ordering holds."""
+    g = erdos_renyi(50, 0.1, seed=66)
+    tree_size = g.n - 1
+    single = build_single_ftbfs(g, 0)
+    cons2 = build_cons2ftbfs(g, 0)
+    approx1 = build_approx_ftmbfs(g, [0], 1)
+    assert tree_size <= approx1.size <= g.m
+    assert tree_size <= single.size <= cons2.size + 2 <= g.m + 2
+    verify_structure_sampled(single, samples=100, seed=1)
+    verify_structure_sampled(cons2, samples=100, seed=2)
+
+
+def test_multi_source_lifecycle(tmp_path):
+    from repro import build_ft_mbfs
+
+    g = erdos_renyi(16, 0.22, seed=88)
+    h = build_ft_mbfs(g, [0, 7], 2, builder=build_cons2ftbfs)
+    verify_structure(h)
+    path = tmp_path / "mbfs.json"
+    save_structure(h, path)
+    back = load_structure(path)
+    assert set(back.sources) == {0, 7}
+    oracle = FTQueryOracle(back)
+    assert oracle.distance(7, 3) == oracle.batch_distances(7)[3]
+
+
+def test_adversarial_end_to_end():
+    """Lower-bound instance: build, check tightness of the match."""
+    from repro import build_lower_bound_graph
+    from repro.analysis import fit_power_law
+
+    sizes = []
+    ns = [92, 160]
+    for n in ns:
+        inst = build_lower_bound_graph(n, 2)
+        h = build_cons2ftbfs(inst.graph, inst.sources[0])
+        verify_structure_sampled(h, samples=60, seed=3)
+        # the upper-bound structure must contain all forced edges
+        forced = {
+            (min(x, z), max(x, z))
+            for _, x, z, _ in inst.witnesses
+        }
+        assert forced <= h.edges
+        sizes.append(h.size)
+    assert sizes[0] < sizes[1]

@@ -1,0 +1,96 @@
+"""Tests for graph/structure serialization."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.graph import Graph
+from repro.core.io import (
+    graph_from_text,
+    graph_to_text,
+    load_graph,
+    load_structure,
+    save_graph,
+    save_structure,
+    structure_from_json,
+    structure_to_json,
+)
+from repro.ftbfs import build_cons2ftbfs, verify_structure
+from repro.generators import erdos_renyi
+
+
+class TestGraphText:
+    def test_roundtrip(self):
+        g = erdos_renyi(15, 0.25, seed=3)
+        assert graph_from_text(graph_to_text(g)) == g
+
+    def test_header_preserves_isolated_vertices(self):
+        g = Graph(5, [(0, 1)])
+        assert graph_from_text(graph_to_text(g)).n == 5
+
+    def test_no_header_infers_n(self):
+        g = graph_from_text("0 1\n1 4\n")
+        assert (g.n, g.m) == (5, 2)
+
+    def test_comments_and_blanks_ignored(self):
+        g = graph_from_text("# comment\n\n0 1\n# another\n1 2\n")
+        assert g.m == 2
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphError):
+            graph_from_text("0 1 2\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        g = erdos_renyi(12, 0.3, seed=4)
+        path = tmp_path / "g.edges"
+        save_graph(g, path)
+        assert load_graph(path) == g
+
+
+class TestStructureJson:
+    def test_roundtrip(self):
+        g = erdos_renyi(14, 0.25, seed=5)
+        h = build_cons2ftbfs(g, 0)
+        back = structure_from_json(structure_to_json(h))
+        assert back.edges == h.edges
+        assert back.graph == g
+        assert back.sources == h.sources
+        assert back.max_faults == h.max_faults
+        assert back.builder == h.builder
+        verify_structure(back)
+
+    def test_stats_filtered_to_jsonable(self):
+        g = erdos_renyi(10, 0.3, seed=6)
+        h = build_cons2ftbfs(g, 0, keep_records=True)
+        text = structure_to_json(h)
+        back = structure_from_json(text)
+        assert "records" not in back.stats  # non-JSON payloads dropped
+        assert back.stats["fallbacks"] == h.stats["fallbacks"]
+
+    def test_version_check(self):
+        g = erdos_renyi(8, 0.3, seed=7)
+        h = build_cons2ftbfs(g, 0)
+        text = structure_to_json(h).replace(
+            '"format_version": 1', '"format_version": 99'
+        )
+        with pytest.raises(GraphError):
+            structure_from_json(text)
+
+    def test_foreign_edge_rejected(self):
+        import json
+
+        g = erdos_renyi(8, 0.3, seed=8)
+        h = build_cons2ftbfs(g, 0)
+        payload = json.loads(structure_to_json(h))
+        payload["structure_edges"].append([0, 7])
+        if g.has_edge(0, 7):
+            payload["structure_edges"] = [[0, 99]]
+            payload["n"] = 100
+        with pytest.raises(GraphError):
+            structure_from_json(json.dumps(payload))
+
+    def test_file_roundtrip(self, tmp_path):
+        g = erdos_renyi(10, 0.3, seed=9)
+        h = build_cons2ftbfs(g, 0)
+        path = tmp_path / "h.json"
+        save_structure(h, path)
+        assert load_structure(path).edges == h.edges

@@ -1,0 +1,155 @@
+"""Tests for the kernel subgraph (Sec. 3.2.2, Lemma 3.14, Claim 3.29)."""
+
+import pytest
+
+from repro.core.graph import normalize_edge
+from repro.core.paths import Path
+from repro.ftbfs.cons2ftbfs import build_cons2ftbfs
+from repro.generators import erdos_renyi, tree_plus_chords
+from repro.replacement.base import SourceContext
+from repro.replacement.kernel import KernelSubgraph, build_kernel, xy_order
+from repro.replacement.single import all_single_replacements
+
+from tests.zoo import zoo_params
+from tests.test_detours import synthetic_rep, PI
+
+
+def kernel_inputs(graph, source=0):
+    ctx = SourceContext(graph, source)
+    out = []
+    for v in ctx.tree.vertices():
+        if v == source:
+            continue
+        reps = [
+            r for r in all_single_replacements(ctx, v).values() if r is not None
+        ]
+        if len(reps) >= 2:
+            out.append((ctx.pi(v), reps))
+    return out
+
+
+class TestOrdering:
+    def test_xy_order_decreasing(self):
+        pi = Path(PI)
+        d_shallow = synthetic_rep(PI, [1, 10, 11, 3], (1, 2))
+        d_deep = synthetic_rep(PI, [4, 12, 13, 6], (4, 5))
+        ordered = xy_order(pi, [d_shallow, d_deep])
+        assert ordered == [d_deep, d_shallow]
+
+    def test_xy_order_tie_on_x(self):
+        pi = Path(PI)
+        d_short = synthetic_rep(PI, [1, 10, 11, 3], (1, 2))
+        d_long = synthetic_rep(PI, [1, 20, 21, 22, 5], (1, 2))
+        ordered = xy_order(pi, [d_short, d_long])
+        assert ordered == [d_long, d_short]  # deeper y first
+
+
+class TestConstruction:
+    def test_first_detour_whole(self):
+        pi = Path(PI)
+        d1 = synthetic_rep(PI, [4, 12, 13, 6], (4, 5))
+        d2 = synthetic_rep(PI, [1, 10, 11, 3], (1, 2))
+        k = build_kernel(pi, [d1, d2])
+        assert not k.entries[0].truncated
+        assert k.entries[0].w == k.ordered[0].y
+        assert k.entries[0].breaker is None
+
+    def test_truncation_and_breaker(self):
+        pi = Path(PI)
+        # deep detour enters kernel first; shallow one shares vertex 30
+        deep = synthetic_rep(PI, [2, 30, 31, 6], (4, 5))
+        shallow = synthetic_rep(PI, [1, 10, 30, 11, 4], (1, 2))
+        k = build_kernel(pi, [deep, shallow])
+        assert k.ordered[0] is deep
+        entry = k.entries[1]
+        assert entry.truncated
+        assert entry.w == 30
+        assert entry.segment.vertices == (1, 10, 30)
+        assert k.breaker_of(1) is deep
+        assert k.breaker_of(0) is None
+
+    def test_vertices_and_edges(self):
+        pi = Path(PI)
+        deep = synthetic_rep(PI, [2, 30, 31, 6], (4, 5))
+        shallow = synthetic_rep(PI, [1, 10, 30, 11, 4], (1, 2))
+        k = build_kernel(pi, [deep, shallow])
+        assert k.vertices() == {2, 30, 31, 6, 1, 10}
+        assert normalize_edge(10, 30) in k.edges()
+        assert normalize_edge(30, 11) not in k.edges()
+        assert k.interior_vertices() == {30, 31, 10}
+
+    def test_owner_map(self):
+        pi = Path(PI)
+        deep = synthetic_rep(PI, [2, 30, 31, 6], (4, 5))
+        shallow = synthetic_rep(PI, [1, 10, 30, 11, 4], (1, 2))
+        k = build_kernel(pi, [deep, shallow])
+        assert k.owner(30) == 0
+        assert k.owner(10) == 1
+        assert k.owner(99) is None
+
+
+class TestLemma314:
+    """The kernel contains every relevant second-fault prefix."""
+
+    @zoo_params()
+    def test_lemma_3_14_on_new_ending_paths(self, name, graph):
+        h = build_cons2ftbfs(graph, 0, keep_records=True)
+        for rec in h.stats["records"]:
+            detours = rec.detours
+            if not detours:
+                continue
+            kernel = build_kernel(rec.pi_path, detours)
+            for dual in rec.new_ending:
+                det = next(
+                    d
+                    for d in detours
+                    if normalize_edge(*d.fault) == normalize_edge(*dual.first_fault)
+                )
+                t = dual.second_fault
+                # q2: the deeper endpoint of the second fault on the detour.
+                pos = max(det.detour.position(t[0]), det.detour.position(t[1]))
+                q2 = det.detour[pos]
+                assert kernel.contains_detour_prefix(det, q2), (
+                    f"{name}: Lemma 3.14 violated at v={rec.vertex}"
+                )
+
+
+class TestRegions:
+    @zoo_params()
+    def test_region_count_bound(self, name, graph):
+        """Claim 3.29(1): at most 2|D| regions."""
+        for pi, reps in kernel_inputs(graph):
+            k = build_kernel(pi, reps)
+            regions = k.regions()
+            assert len(regions) <= 2 * len(reps)
+
+    @zoo_params()
+    def test_regions_cover_kernel(self, name, graph):
+        for pi, reps in kernel_inputs(graph):
+            k = build_kernel(pi, reps)
+            covered = set()
+            for r in k.regions():
+                covered.update(r.edges())
+            assert covered == k.edges()
+
+    @zoo_params()
+    def test_regions_inside_single_detour(self, name, graph):
+        """Claim 3.29(2): each region is contained in one detour."""
+        for pi, reps in kernel_inputs(graph):
+            k = build_kernel(pi, reps)
+            detour_edge_sets = [set(r.detour.edges()) for r in reps]
+            for region in k.regions():
+                r_edges = set(region.edges())
+                assert any(
+                    r_edges <= des for des in detour_edge_sets
+                ), f"{name}: region spans multiple detours"
+
+    def test_region_interiors_avoid_specials(self):
+        g = tree_plus_chords(18, 8, seed=5)
+        for pi, reps in kernel_inputs(g):
+            k = build_kernel(pi, reps)
+            xs, ws = k.endpoint_vertices()
+            special = xs | ws
+            for region in k.regions():
+                for u in region.vertices[1:-1]:
+                    assert u not in special

@@ -1,0 +1,205 @@
+"""Tests for the Section-4 lower-bound constructions (Lemma 4.3, Thm. 4.1)."""
+
+import pytest
+
+from repro.core.canonical import DistanceOracle, bfs_distances
+from repro.core.errors import GraphError
+from repro.core.graph import Graph
+from repro.ftbfs import build_generic_ftbfs, is_ft_mbfs, verify_structure
+from repro.lowerbound import (
+    build_gadget,
+    build_gadget_g1,
+    build_lower_bound_graph,
+    check_witness,
+    choose_d,
+    forced_edge_witnesses,
+    gadget_vertex_count,
+    root_to_leaf_path_lengths,
+    theoretical_lower_bound,
+)
+from repro.lowerbound.gadgets import Gadget
+
+
+class TestG1:
+    def test_shape(self):
+        g = Graph(0)
+        gad = build_gadget_g1(g, 4)
+        assert gad.leaf_count == 4
+        assert len(gad.top_path) == 4
+        assert gad.root == gad.top_path[0]
+        assert g.is_connected()
+
+    def test_is_tree(self):
+        g = Graph(0)
+        build_gadget_g1(g, 5)
+        assert g.m == g.n - 1
+
+    def test_leaf_depths_strictly_decreasing(self):
+        g = Graph(0)
+        gad = build_gadget_g1(g, 5)
+        lengths = root_to_leaf_path_lengths(g, gad)
+        assert all(a > b for a, b in zip(lengths, lengths[1:]))
+
+    def test_labels(self):
+        g = Graph(0)
+        gad = build_gadget_g1(g, 4)
+        for i, z in enumerate(gad.leaves):
+            label = gad.labels[z]
+            if i < 3:
+                assert len(label) == 1
+            else:
+                assert label == ()
+
+    def test_d_too_small(self):
+        with pytest.raises(GraphError):
+            build_gadget_g1(Graph(0), 1)
+
+
+@pytest.mark.parametrize("f,d", [(1, 3), (2, 2), (2, 3), (3, 2)])
+class TestGf:
+    def test_tree_and_leaf_count(self, f, d):
+        g = Graph(0)
+        gad = build_gadget(g, f, d)
+        assert g.m == g.n - 1  # always a tree
+        assert gad.leaf_count == d ** f  # Obs. 4.2(b)
+
+    def test_depth_formula_matches_bfs(self, f, d):
+        g = Graph(0)
+        gad = build_gadget(g, f, d)
+        dist = bfs_distances(g, gad.root)
+        assert max(dist) == gad.depth
+
+    def test_lemma_4_3_4_global_monotonicity(self, f, d):
+        """Leaf depths strictly decrease left to right, globally."""
+        g = Graph(0)
+        gad = build_gadget(g, f, d)
+        lengths = root_to_leaf_path_lengths(g, gad)
+        assert all(a > b for a, b in zip(lengths, lengths[1:]))
+
+    def test_labels_sized_at_most_f(self, f, d):
+        g = Graph(0)
+        gad = build_gadget(g, f, d)
+        for z in gad.leaves:
+            assert len(gad.labels[z]) <= f
+        # global rightmost leaf has the empty label
+        assert gad.labels[gad.leaves[-1]] == ()
+
+    def test_lemma_4_3_2_label_spares_own_path(self, f, d):
+        """P(z) survives Label(z)."""
+        g = Graph(0)
+        gad = build_gadget(g, f, d)
+        oracle = DistanceOracle(g)
+        base = bfs_distances(g, gad.root)
+        for z in gad.leaves:
+            d_z = oracle.distance(gad.root, z, banned_edges=gad.labels[z])
+            assert d_z == base[z]
+
+    def test_lemma_4_3_3_label_cuts_right_leaves(self, f, d):
+        """Every leaf right of z loses its unique path under Label(z)."""
+        g = Graph(0)
+        gad = build_gadget(g, f, d)
+        oracle = DistanceOracle(g)
+        for i, z in enumerate(gad.leaves):
+            label = gad.labels[z]
+            if not label:
+                continue
+            for z_right in gad.leaves[i + 1 :]:
+                # the gadget is a tree: cutting the unique path = disconnect
+                dd = oracle.distance(gad.root, z_right, banned_edges=label)
+                assert dd == float("inf")
+
+    def test_label_spares_left_leaves(self, f, d):
+        g = Graph(0)
+        gad = build_gadget(g, f, d)
+        oracle = DistanceOracle(g)
+        base = bfs_distances(g, gad.root)
+        for i, z in enumerate(gad.leaves):
+            label = gad.labels[z]
+            for z_left in gad.leaves[:i]:
+                assert oracle.distance(
+                    gad.root, z_left, banned_edges=label
+                ) == base[z_left]
+
+
+class TestVertexCounts:
+    def test_gadget_vertex_count_matches(self):
+        for f, d in [(1, 3), (2, 2)]:
+            g = Graph(0)
+            build_gadget(g, f, d)
+            assert gadget_vertex_count(f, d) == g.n
+
+    def test_growth_in_d(self):
+        assert gadget_vertex_count(1, 4) > gadget_vertex_count(1, 3)
+        assert gadget_vertex_count(2, 3) > gadget_vertex_count(2, 2)
+
+    def test_choose_d(self):
+        n = 400
+        d = choose_d(n, 2)
+        assert gadget_vertex_count(2, d) <= n / 2
+        assert gadget_vertex_count(2, d + 1) > n / 2
+
+    def test_choose_d_too_small(self):
+        with pytest.raises(GraphError):
+            choose_d(10, 3)
+
+
+class TestAdversarialInstance:
+    def test_exact_vertex_count(self):
+        inst = build_lower_bound_graph(150, 2)
+        assert inst.graph.n == 150
+        assert inst.graph.is_connected()
+
+    def test_witness_sizes_within_budget(self):
+        inst = build_lower_bound_graph(150, 2)
+        for _, _, _, faults in inst.witnesses:
+            assert 1 <= len(faults) <= 2
+
+    @pytest.mark.parametrize("f,n", [(1, 90), (2, 120)])
+    def test_all_witnesses_hold(self, f, n):
+        inst = build_lower_bound_graph(n, f)
+        for edge, source, faults in forced_edge_witnesses(inst):
+            assert check_witness(inst, edge, source, faults), (
+                f"witness fails for edge {edge} under {faults}"
+            )
+
+    def test_forced_count_formula(self):
+        inst = build_lower_bound_graph(120, 2)
+        assert inst.forced_lower_bound() == len(inst.x_vertices) * (inst.d ** 2)
+        assert len(inst.witnesses) == inst.forced_lower_bound()
+
+    def test_multi_source(self):
+        inst = build_lower_bound_graph(200, 1, sigma=2)
+        assert len(inst.sources) == 2
+        assert inst.graph.n == 200
+        for edge, source, faults in forced_edge_witnesses(inst, limit=60):
+            assert check_witness(inst, edge, source, faults)
+
+    def test_sigma_validation(self):
+        with pytest.raises(GraphError):
+            build_lower_bound_graph(100, 1, sigma=0)
+
+    def test_structure_without_forced_edge_is_invalid(self):
+        """End-to-end Thm 4.1: G minus a bipartite edge is not FT-BFS."""
+        inst = build_lower_bound_graph(80, 1)
+        g = inst.graph
+        edge, source, faults = forced_edge_witnesses(inst, limit=1)[0]
+        reduced = set(g.edges()) - {edge}
+        assert not is_ft_mbfs(g, reduced, [source], 1, fault_sets=[faults])
+
+    def test_generic_builder_keeps_all_forced_edges(self):
+        """Any exact structure must contain every bipartite edge."""
+        inst = build_lower_bound_graph(60, 1)
+        h = build_generic_ftbfs(inst.graph, inst.sources[0], 1)
+        forced = {e for e, _, _ in forced_edge_witnesses(inst)}
+        assert forced <= h.edges
+
+
+class TestTheoreticalBound:
+    def test_values(self):
+        assert theoretical_lower_bound(100, 1) == pytest.approx(100 ** 1.5)
+        assert theoretical_lower_bound(100, 2) == pytest.approx(100 ** (5 / 3))
+
+    def test_sigma_scaling(self):
+        a = theoretical_lower_bound(100, 1, sigma=1)
+        b = theoretical_lower_bound(100, 1, sigma=4)
+        assert b == pytest.approx(a * 4 ** 0.5)

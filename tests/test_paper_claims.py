@@ -1,0 +1,199 @@
+"""Executable versions of the paper's structural claims, on real runs.
+
+Each test takes actual ``Cons2FTBFS`` evidence (detours, new-ending
+paths) and checks the corresponding claim from Section 3 — the claims
+are *inputs* to the size proof, so their empirical validity is the
+strongest fidelity signal the reproduction can offer.
+"""
+
+import pytest
+
+from repro.core.graph import normalize_edge
+from repro.core.tree import BFSTree
+from repro.ftbfs import build_cons2ftbfs, build_single_ftbfs
+from repro.generators import erdos_renyi, tree_plus_chords, torus_graph
+from repro.replacement.classify import PathClass, classify_new_ending
+from repro.replacement.detours import excluded_suffix
+
+from tests.zoo import zoo_params
+
+RICH_GRAPHS = [
+    ("er40", erdos_renyi(40, 0.12, seed=31)),
+    ("chords40", tree_plus_chords(40, 22, seed=32)),
+    ("torus5x5", torus_graph(5, 5)),
+]
+
+rich_params = pytest.mark.parametrize(
+    "name,graph", RICH_GRAPHS, ids=[n for n, _ in RICH_GRAPHS]
+)
+
+
+def run_with_records(graph, source=0):
+    return build_cons2ftbfs(graph, source, keep_records=True)
+
+
+@rich_params
+def test_claim_3_5_unique_pi_divergence(name, graph):
+    """New-ending paths have a unique π-divergence point, above F1."""
+    h = run_with_records(graph)
+    for rec in h.stats["records"]:
+        for dual in rec.new_ending:
+            divs = dual.path.divergence_points(rec.pi_path)
+            assert len(divs) == 1
+            b = divs[0]
+            e_depth = rec.pi_path.edge_position(dual.first_fault)
+            assert rec.pi_path.position(b) < e_depth
+
+
+@rich_params
+def test_claim_3_5_suffix_edge_disjoint_from_pi(name, graph):
+    """P[b(P), v] shares no edge with π(s, v) (Claim 3.5(2))."""
+    h = run_with_records(graph)
+    for rec in h.stats["records"]:
+        pi_edges = rec.pi_path.edge_set()
+        for dual in rec.new_ending:
+            b = dual.pi_divergence
+            suffix = dual.path.suffix(b)
+            assert not (suffix.edge_set() & pi_edges)
+
+
+@rich_params
+def test_lemma_3_16_distinct_detour_divergence(name, graph):
+    """Among a vertex's new-ending paths intersecting their detours,
+    the D-divergence points c(P) are pairwise distinct."""
+    h = run_with_records(graph)
+    for rec in h.stats["records"]:
+        cs = [
+            dual.detour_divergence
+            for dual in rec.new_ending
+            if dual.detour_divergence is not None
+        ]
+        assert len(cs) == len(set(cs)), (
+            f"{name}: Lemma 3.16 violated at v={rec.vertex}: {cs}"
+        )
+
+
+@rich_params
+def test_claim_3_12_excluded_segments(name, graph):
+    """No new-ending path has its second fault on an excluded suffix L1."""
+    h = run_with_records(graph)
+    for rec in h.stats["records"]:
+        detours = rec.detours
+        by_fault = {normalize_edge(*d.fault): d for d in detours}
+        # precompute excluded segments for every ordered dependent pair
+        excluded = {}  # first-fault edge -> list of excluded edge sets
+        for i in range(len(detours)):
+            for j in range(len(detours)):
+                if i == j:
+                    continue
+                seg = excluded_suffix(rec.pi_path, detours[i], detours[j])
+                if seg is not None and len(seg) >= 1:
+                    key = normalize_edge(*detours[i].fault)
+                    excluded.setdefault(key, []).append(seg.edge_set())
+        for dual in rec.new_ending:
+            key = normalize_edge(*dual.first_fault)
+            t = normalize_edge(*dual.second_fault)
+            for seg_edges in excluded.get(key, []):
+                assert t not in seg_edges, (
+                    f"{name}: Claim 3.12 violated at v={rec.vertex}: "
+                    f"fault {t} on excluded segment"
+                )
+
+
+@rich_params
+def test_observation_3_19_distinct_first_faults_in_nodet(name, graph):
+    """Paths in P_nodet protect pairwise-distinct first faults."""
+    h = run_with_records(graph)
+    for rec in h.stats["records"]:
+        all_new = rec.pipi_records + rec.new_ending
+        if not all_new:
+            continue
+        detour_map = {
+            normalize_edge(*s.fault): s
+            for s in rec.singles.values()
+            if s is not None
+        }
+        classified = classify_new_ending(rec.pi_path, all_new, detour_map)
+        nodet_faults = [
+            normalize_edge(*cp.record.first_fault)
+            for cp in classified
+            if cp.path_class == PathClass.NODET
+        ]
+        assert len(nodet_faults) == len(set(nodet_faults)), (
+            f"{name}: Obs 3.19 violated at v={rec.vertex}"
+        )
+
+
+@rich_params
+def test_lemma_3_46_length_monotonicity(name, graph):
+    """Independent new-ending paths with higher π-divergence are longer:
+    b_i strictly above b_j implies |P_i| > |P_j| (Lemma 3.44/3.46)."""
+    h = run_with_records(graph)
+    for rec in h.stats["records"]:
+        all_new = rec.pipi_records + rec.new_ending
+        if len(all_new) < 2:
+            continue
+        detour_map = {
+            normalize_edge(*s.fault): s
+            for s in rec.singles.values()
+            if s is not None
+        }
+        classified = classify_new_ending(rec.pi_path, all_new, detour_map)
+        indep = [
+            cp.record
+            for cp in classified
+            if cp.path_class == PathClass.INDEPENDENT
+        ]
+        for i, p_i in enumerate(indep):
+            for p_j in indep[i + 1 :]:
+                b_i = rec.pi_path.position(p_i.pi_divergence)
+                b_j = rec.pi_path.position(p_j.pi_divergence)
+                if b_i < b_j:
+                    assert len(p_i.path) > len(p_j.path)
+                elif b_j < b_i:
+                    assert len(p_j.path) > len(p_i.path)
+
+
+@zoo_params()
+def test_observation_1_4_disjoint_suffixes_single_failure(name, graph):
+    """Obs 1.4: new-ending single-failure paths of a target have
+    vertex-disjoint suffixes P[b, v] \\ {v} — the O(√n) engine."""
+    from repro.replacement.base import SourceContext
+    from repro.replacement.single import all_single_replacements
+
+    ctx = SourceContext(graph, 0)
+    t0_edges = BFSTree(graph, 0).edges()
+    for v in ctx.tree.vertices():
+        if v == 0:
+            continue
+        new_ending = []
+        seen_last = set()
+        for rep in all_single_replacements(ctx, v).values():
+            if rep is None:
+                continue
+            le = rep.path.last_edge()
+            if le in t0_edges or le in seen_last:
+                continue
+            seen_last.add(le)
+            new_ending.append(rep)
+        for i, a in enumerate(new_ending):
+            suffix_a = set(a.path.suffix(a.x).vertices) - {v}
+            for b in new_ending[i + 1 :]:
+                suffix_b = set(b.path.suffix(b.x).vertices) - {v}
+                assert not (suffix_a & suffix_b), (
+                    f"{name}: Obs 1.4 violated at v={v}"
+                )
+
+
+@rich_params
+def test_satisfied_pairs_really_satisfied(name, graph):
+    """Step-3 accounting: pairs marked satisfied have an optimal path in
+    the restricted graph; new-ending pairs do not (before their edge)."""
+    h = run_with_records(graph)
+    assert h.stats["satisfied_pairs"] + h.stats["new_ending_paths"] > 0
+    # last edges of new-ending paths are genuinely new per-vertex edges
+    for rec in h.stats["records"]:
+        last_edges = [d.path.last_edge() for d in rec.new_ending]
+        assert len(last_edges) == len(set(last_edges))
+        for le in last_edges:
+            assert rec.vertex in le

@@ -1,0 +1,135 @@
+"""Hypothesis property suites spanning the whole stack.
+
+These generate random graphs/fault workloads and assert the paper's
+invariants end to end: structure validity, optimality of selected
+replacement paths, uniqueness properties, and size monotonicity.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.canonical import INF, DistanceOracle, LexShortestPaths
+from repro.core.tree import BFSTree
+from repro.ftbfs import (
+    build_cons2ftbfs,
+    build_dual_ftbfs_simple,
+    build_single_ftbfs,
+    find_violation,
+)
+from repro.generators import all_fault_sets, erdos_renyi, tree_plus_chords
+from repro.replacement.base import SourceContext
+from repro.replacement.single import all_single_replacements
+
+SLOW = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+graphs = st.builds(
+    erdos_renyi,
+    n=st.integers(min_value=4, max_value=13),
+    p=st.floats(min_value=0.15, max_value=0.45),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+sparse_graphs = st.builds(
+    tree_plus_chords,
+    n=st.integers(min_value=5, max_value=14),
+    chords=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+any_graph = st.one_of(graphs, sparse_graphs)
+
+
+@settings(**SLOW)
+@given(graph=any_graph)
+def test_cons2ftbfs_always_valid(graph):
+    h = build_cons2ftbfs(graph, 0)
+    assert find_violation(graph, h.edges, [0], 2) is None
+    assert h.stats["fallbacks"] == 0
+
+
+@settings(**SLOW)
+@given(graph=any_graph)
+def test_simple_dual_always_valid(graph):
+    h = build_dual_ftbfs_simple(graph, 0)
+    assert find_violation(graph, h.edges, [0], 2) is None
+
+
+@settings(**SLOW)
+@given(graph=any_graph)
+def test_single_ftbfs_always_valid(graph):
+    h = build_single_ftbfs(graph, 0)
+    assert find_violation(graph, h.edges, [0], 1) is None
+
+
+@settings(**SLOW)
+@given(graph=any_graph)
+def test_structure_size_monotone_in_f(graph):
+    """Dual-failure structures contain a valid single-failure core."""
+    h1 = build_single_ftbfs(graph, 0)
+    h2 = build_cons2ftbfs(graph, 0)
+    # not containment (choices differ), but the dual structure must
+    # itself be a valid f=1 structure
+    assert find_violation(graph, h2.edges, [0], 1) is None
+    assert h2.size >= len(BFSTree(graph, 0).edges())
+    assert h1.size >= len(BFSTree(graph, 0).edges())
+
+
+@settings(**SLOW)
+@given(graph=any_graph, fault_seed=st.integers(min_value=0, max_value=100))
+def test_replacement_distances_vs_all_faults(graph, fault_seed):
+    """For every single fault, selected paths achieve the true distance."""
+    ctx = SourceContext(graph, 0)
+    oracle = DistanceOracle(graph)
+    for v in list(ctx.tree.vertices())[1:6]:
+        for e, rep in all_single_replacements(ctx, v).items():
+            truth = oracle.distance(0, v, banned_edges=(e,))
+            if rep is None:
+                assert truth == INF
+            else:
+                assert len(rep.path) == truth
+
+
+@settings(**SLOW)
+@given(graph=any_graph)
+def test_canonical_uniqueness_within_restriction(graph):
+    """The engine returns the same path regardless of call order."""
+    eng = LexShortestPaths(graph)
+    edges = sorted(graph.edges())
+    restriction = edges[: min(2, len(edges))]
+    first = {}
+    for v in range(graph.n):
+        res = eng.search(0, banned_edges=restriction)
+        if res.reached(v):
+            first[v] = res.path(v)
+    again = eng.search(0, banned_edges=restriction)
+    for v, p in first.items():
+        assert again.path(v) == p
+
+
+@settings(**SLOW)
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    p=st.floats(min_value=0.2, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_last_edge_coverage_property(n, p, seed):
+    """The coverage invariant behind Lemma 3.2: for every (v, F) with v
+    reachable, some shortest path in G \\ F ends with a structure edge."""
+    graph = erdos_renyi(n, p, seed=seed)
+    h = build_cons2ftbfs(graph, 0)
+    oracle = DistanceOracle(graph)
+    for faults in all_fault_sets(graph, 2):
+        dist = oracle.distances_from(0, banned_edges=faults)
+        for v in range(1, graph.n):
+            if dist[v] <= 0:
+                continue
+            fault_set = set(faults)
+            ok = any(
+                (min(u, v), max(u, v)) in h.edges
+                and (min(u, v), max(u, v)) not in fault_set
+                and dist[u] == dist[v] - 1
+                for u in graph.neighbors(v)
+            )
+            assert ok, f"no covered last edge for v={v}, F={faults}"

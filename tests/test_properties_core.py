@@ -1,0 +1,137 @@
+"""Hypothesis property suites for the core substrate (graphs + paths)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import PathError
+from repro.core.graph import Graph, normalize_edge
+from repro.core.paths import Path
+from repro.generators import erdos_renyi
+
+SETTINGS = dict(max_examples=60, deadline=None)
+
+
+@st.composite
+def simple_paths(draw, min_len=1, max_len=12):
+    length = draw(st.integers(min_value=min_len, max_value=max_len))
+    verts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=200),
+            min_size=length + 1,
+            max_size=length + 1,
+            unique=True,
+        )
+    )
+    return Path(verts)
+
+
+class TestPathProperties:
+    @settings(**SETTINGS)
+    @given(p=simple_paths())
+    def test_reverse_involution(self, p):
+        assert p.reversed().reversed() == p
+        assert len(p.reversed()) == len(p)
+        assert set(p.reversed().edges()) == set(p.edges())
+
+    @settings(**SETTINGS)
+    @given(p=simple_paths(min_len=2))
+    def test_prefix_suffix_partition(self, p):
+        for w in p.vertices[1:-1]:
+            pre, suf = p.prefix(w), p.suffix(w)
+            assert pre.concat(suf) == p
+            assert len(pre) + len(suf) == len(p)
+
+    @settings(**SETTINGS)
+    @given(p=simple_paths(min_len=2))
+    def test_subpath_positions(self, p):
+        vs = p.vertices
+        for i in range(len(vs)):
+            for j in range(i, len(vs)):
+                seg = p.subpath(vs[i], vs[j])
+                assert seg.vertices == vs[i : j + 1]
+                rev = p.subpath(vs[j], vs[i])
+                assert rev.vertices == tuple(reversed(vs[i : j + 1]))
+
+    @settings(**SETTINGS)
+    @given(p=simple_paths())
+    def test_edge_positions_consistent(self, p):
+        for idx, e in enumerate(p.edges(), start=1):
+            assert p.edge_position(e) == idx
+
+    @settings(**SETTINGS)
+    @given(p=simple_paths())
+    def test_divergence_from_self_none(self, p):
+        assert p.divergence_point(p) is None
+        assert p.common_vertices(p) == set(p.vertices)
+
+
+class TestGraphProperties:
+    @settings(**SETTINGS)
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        p=st.floats(min_value=0.0, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_handshake(self, n, p, seed):
+        g = erdos_renyi(n, p, seed=seed, ensure_connected=False)
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.m
+
+    @settings(**SETTINGS)
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        p=st.floats(min_value=0.1, max_value=0.6),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_copy_and_subgraph_identities(self, n, p, seed):
+        g = erdos_renyi(n, p, seed=seed)
+        assert g.copy() == g
+        assert g.edge_subgraph(g.edges()) == g
+        assert g.without_edges([]) == g
+
+    @settings(**SETTINGS)
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=10**6),
+        k=st.integers(min_value=0, max_value=5),
+    )
+    def test_removal_complement(self, n, seed, k):
+        g = erdos_renyi(n, 0.4, seed=seed)
+        edges = sorted(g.edges())[:k]
+        reduced = g.without_edges(edges)
+        assert reduced.m == g.m - len(edges)
+        for e in edges:
+            assert not reduced.has_edge(*e)
+
+    @settings(**SETTINGS)
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        p=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_components_partition(self, n, p, seed):
+        g = erdos_renyi(n, p, seed=seed, ensure_connected=False)
+        seen = set()
+        count = 0
+        for v in g.vertices():
+            if v not in seen:
+                comp = g.connected_component(v)
+                assert not (comp & seen)
+                seen |= comp
+                count += 1
+        assert seen == set(g.vertices())
+        if count == 1:
+            assert g.is_connected()
+
+
+class TestSerializationProperties:
+    @settings(**SETTINGS)
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        p=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_text_roundtrip(self, n, p, seed):
+        from repro.core.io import graph_from_text, graph_to_text
+
+        g = erdos_renyi(n, p, seed=seed, ensure_connected=False)
+        assert graph_from_text(graph_to_text(g)) == g

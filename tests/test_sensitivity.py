@@ -1,0 +1,109 @@
+"""Tests for the distance sensitivity oracles."""
+
+import pytest
+
+from repro.core.canonical import INF, DistanceOracle
+from repro.core.errors import GraphError
+from repro.ftbfs import build_cons2ftbfs, build_single_ftbfs
+from repro.ftbfs.sensitivity import (
+    DualFaultDistanceOracle,
+    SingleFaultDistanceOracle,
+)
+from repro.generators import erdos_renyi, path_graph
+
+from tests.zoo import zoo_params
+
+
+@zoo_params()
+def test_single_fault_oracle_exhaustive(name, graph):
+    oracle = SingleFaultDistanceOracle(graph, 0)
+    truth = DistanceOracle(graph)
+    for e in sorted(graph.edges()):
+        for v in graph.vertices():
+            assert oracle.distance(v, e) == truth.distance(0, v, banned_edges=(e,))
+
+
+def test_single_fault_oracle_fault_free():
+    g = erdos_renyi(12, 0.3, seed=1)
+    oracle = SingleFaultDistanceOracle(g, 0)
+    truth = DistanceOracle(g)
+    for v in range(g.n):
+        assert oracle.distance(v) == truth.distance(0, v)
+
+
+def test_single_fault_oracle_bridge():
+    g = path_graph(5)
+    oracle = SingleFaultDistanceOracle(g, 0)
+    assert oracle.distance(4, (1, 2)) == INF
+    assert oracle.distance(1, (1, 2)) == 1
+
+
+def test_single_fault_oracle_table_count():
+    g = erdos_renyi(15, 0.3, seed=2)
+    oracle = SingleFaultDistanceOracle(g, 0)
+    assert oracle.preprocessing_tables == 14  # tree edges
+
+
+def test_single_fault_oracle_invalid_vertex():
+    g = path_graph(3)
+    oracle = SingleFaultDistanceOracle(g, 0)
+    with pytest.raises(GraphError):
+        oracle.distance(7)
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_dual_fault_oracle_exhaustive(seed):
+    g = erdos_renyi(10, 0.3, seed=seed)
+    oracle = DualFaultDistanceOracle(g, 0)
+    truth = DistanceOracle(g)
+    edges = sorted(g.edges())
+    for i, e1 in enumerate(edges):
+        for e2 in edges[i + 1 :]:
+            for v in range(g.n):
+                want = truth.distance(0, v, banned_edges=(e1, e2))
+                assert oracle.distance(v, (e1, e2)) == want
+
+
+def test_dual_fault_oracle_accepts_prebuilt():
+    g = erdos_renyi(12, 0.25, seed=5)
+    h = build_cons2ftbfs(g, 0)
+    oracle = DualFaultDistanceOracle(g, 0, structure=h)
+    assert oracle.structure_size == h.size
+    truth = DistanceOracle(g)
+    edges = sorted(g.edges())[:4]
+    assert oracle.distance(5, (edges[0], edges[1])) == truth.distance(
+        0, 5, banned_edges=edges[:2]
+    )
+
+
+def test_dual_fault_oracle_rejects_weak_structure():
+    g = erdos_renyi(10, 0.3, seed=6)
+    h1 = build_single_ftbfs(g, 0)
+    with pytest.raises(GraphError):
+        DualFaultDistanceOracle(g, 0, structure=h1)
+
+
+def test_dual_fault_oracle_rejects_wrong_source():
+    g = erdos_renyi(10, 0.3, seed=7)
+    h = build_cons2ftbfs(g, 0)
+    with pytest.raises(GraphError):
+        DualFaultDistanceOracle(g, 3, structure=h)
+
+
+def test_dual_fault_oracle_budget():
+    g = erdos_renyi(10, 0.3, seed=8)
+    oracle = DualFaultDistanceOracle(g, 0)
+    edges = sorted(g.edges())
+    with pytest.raises(GraphError):
+        oracle.distance(2, edges[:3])
+
+
+def test_dual_fault_oracle_batch():
+    g = erdos_renyi(10, 0.3, seed=9)
+    oracle = DualFaultDistanceOracle(g, 0)
+    truth = DistanceOracle(g)
+    edges = sorted(g.edges())
+    queries = [(3, ()), (4, (edges[0],)), (5, (edges[0], edges[1]))]
+    got = oracle.batch(queries)
+    want = [truth.distance(0, v, banned_edges=f) for v, f in queries]
+    assert got == want

@@ -1,0 +1,83 @@
+"""Tests for stretch profiles and stretch-budgeted sparsification."""
+
+import pytest
+
+from repro.analysis import (
+    sparsify_by_stretch,
+    stretch_profile,
+    structure_stretch,
+)
+from repro.core.tree import BFSTree
+from repro.ftbfs import build_cons2ftbfs, build_single_ftbfs, verify_structure
+from repro.generators import all_fault_sets, cycle_graph, erdos_renyi
+
+
+def test_exact_structure_has_unit_stretch():
+    g = erdos_renyi(14, 0.25, seed=3)
+    h = build_cons2ftbfs(g, 0)
+    profile = structure_stretch(h, 2)
+    assert profile.exact_fraction == 1.0
+    assert profile.max_multiplicative == 1.0
+    assert profile.max_additive == 0
+    assert profile.disconnected_pairs == 0
+
+
+def test_single_structure_degrades_gracefully_under_two_faults():
+    g = erdos_renyi(16, 0.25, seed=5)
+    h1 = build_single_ftbfs(g, 0)
+    profile = structure_stretch(h1, 2)
+    # it keeps a large fraction exact but is allowed to stretch
+    assert profile.pairs > 0
+    assert profile.exact_fraction > 0.5
+    assert profile.max_multiplicative >= 1.0
+
+
+def test_bfs_tree_stretch_on_cycle():
+    g = cycle_graph(8)
+    tree_edges = BFSTree(g, 0).edges()
+    profile = stretch_profile(g, tree_edges, 0, list(all_fault_sets(g, 1)))
+    # failing a tree edge disconnects the tree but not the cycle
+    assert profile.disconnected_pairs > 0
+
+
+def test_profile_repr_and_empty():
+    g = cycle_graph(5)
+    profile = stretch_profile(g, g.edges(), 0, [])
+    assert profile.pairs == 0
+    assert profile.exact_fraction == 1.0
+    assert "StretchProfile" in repr(profile)
+
+
+def test_sparsify_by_stretch_unit_budget_stays_exact():
+    g = erdos_renyi(10, 0.35, seed=7)
+    h = build_cons2ftbfs(g, 0)
+    sparser = sparsify_by_stretch(g, h, max_multiplicative=1.0)
+    assert sparser.size <= h.size
+    # with budget exactly 1.0 the result is still a valid exact structure
+    verify_structure(sparser)
+
+
+def test_sparsify_by_stretch_trades_size():
+    g = erdos_renyi(10, 0.35, seed=8)
+    h = build_cons2ftbfs(g, 0)
+    exact = sparsify_by_stretch(g, h, 1.0)
+    loose = sparsify_by_stretch(g, h, 2.0)
+    assert loose.size <= exact.size
+    profile = structure_stretch(loose, 2)
+    assert profile.max_multiplicative <= 2.0
+    assert profile.disconnected_pairs == 0
+
+
+def test_sparsify_keeps_tree():
+    g = erdos_renyi(10, 0.35, seed=9)
+    h = build_cons2ftbfs(g, 0)
+    loose = sparsify_by_stretch(g, h, 3.0)
+    assert BFSTree(g, 0).edges() <= loose.edges
+
+
+def test_sparsify_rejects_mismatched_graph():
+    g1 = erdos_renyi(9, 0.4, seed=1)
+    g2 = erdos_renyi(12, 0.4, seed=2)
+    h = build_cons2ftbfs(g1, 0)
+    with pytest.raises(ValueError):
+        sparsify_by_stretch(g2, h, 1.5)

@@ -1,0 +1,50 @@
+"""Tests for the FTStructure result type."""
+
+import pytest
+
+from repro.ftbfs import build_cons2ftbfs
+from repro.ftbfs.structures import FTStructure, make_structure
+from repro.generators import erdos_renyi, path_graph
+
+
+def test_make_structure_normalizes():
+    g = path_graph(4)
+    h = make_structure(g, [0], 1, [(1, 0), (2, 1), (1, 2)], "t")
+    assert h.edges == frozenset({(0, 1), (1, 2)})
+    assert h.size == 2
+    assert h.sources == (0,)
+
+
+def test_source_property():
+    g = path_graph(3)
+    h = make_structure(g, [0], 1, [(0, 1)], "t")
+    assert h.source == 0
+    multi = make_structure(g, [0, 2], 1, [(0, 1)], "t")
+    with pytest.raises(ValueError):
+        multi.source
+
+
+def test_subgraph_roundtrip():
+    g = erdos_renyi(10, 0.3, seed=1)
+    h = build_cons2ftbfs(g, 0)
+    sub = h.subgraph()
+    assert sub.n == g.n
+    assert sub.edges() == h.edges
+
+
+def test_density_exponent():
+    g = erdos_renyi(20, 0.3, seed=2)
+    h = build_cons2ftbfs(g, 0)
+    import math
+
+    expected = math.log(h.size) / math.log(g.n)
+    assert h.density_exponent() == pytest.approx(expected)
+    tiny = make_structure(path_graph(2), [0], 0, [(0, 1)], "t")
+    assert tiny.density_exponent() == 0.0
+
+
+def test_repr_and_stats_default():
+    g = path_graph(3)
+    h = make_structure(g, [0], 2, [(0, 1)], "xyz")
+    assert "xyz" in repr(h)
+    assert h.stats == {}

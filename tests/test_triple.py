@@ -1,0 +1,102 @@
+"""Tests for the triple-failure extension (Sec. 3 'Beyond two faults')."""
+
+import pytest
+
+from repro.core.graph import normalize_edge
+from repro.ftbfs import build_generic_ftbfs, verify_structure
+from repro.generators import erdos_renyi, tree_plus_chords
+from repro.replacement.triple import (
+    TripleClass,
+    build_triple_ftbfs,
+    census_table,
+    classify_triple,
+)
+
+
+class TestClassification:
+    PI = {(0, 1), (1, 2), (2, 3)}
+    D1 = {(1, 10), (10, 11), (11, 3)}
+    P12 = {(0, 1), (1, 10), (10, 20), (20, 3)}  # D2 = {(10,20),(20,3)}
+
+    def c(self, t2, t3):
+        return classify_triple(self.PI, self.D1, self.P12, t2, t3)
+
+    def test_ppp(self):
+        assert self.c((1, 2), (2, 3)) == TripleClass.PPP
+
+    def test_ppd1_both_orders(self):
+        assert self.c((1, 2), (10, 11)) == TripleClass.PPD1
+        assert self.c((10, 11), (1, 2)) == TripleClass.PPD1
+
+    def test_pd1d1(self):
+        assert self.c((1, 10), (10, 11)) == TripleClass.PD1D1
+
+    def test_pd1d2(self):
+        assert self.c((1, 10), (10, 20)) == TripleClass.PD1D2
+
+    def test_other(self):
+        # second fault on pi, third on the D2-style segment
+        assert self.c((1, 2), (10, 20)) == TripleClass.OTHER
+
+
+class TestBuilder:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_structure_is_exact_f3(self, seed):
+        g = erdos_renyi(9, 0.35, seed=seed)
+        h = build_triple_ftbfs(g, 0)
+        verify_structure(h)  # exhaustive over all |F| <= 3
+        assert h.max_faults == 3
+
+    def test_matches_generic_builder_validity(self):
+        g = erdos_renyi(10, 0.3, seed=5)
+        structured = build_triple_ftbfs(g, 0)
+        generic = build_generic_ftbfs(g, 0, 3)
+        verify_structure(structured)
+        verify_structure(generic)
+        # both exact; sizes should be in the same ballpark
+        assert abs(structured.size - generic.size) <= g.m
+
+    def test_census_consistency(self):
+        g = tree_plus_chords(14, 6, seed=3)
+        h = build_triple_ftbfs(g, 0, keep_records=True)
+        census = h.stats["class_census"]
+        new_census = h.stats["new_ending_census"]
+        records = h.stats["records"]
+        assert sum(census.values()) == len(records)
+        for cls in TripleClass:
+            assert new_census[cls] <= census[cls]
+        by_class = {}
+        for rec in records:
+            by_class[rec.triple_class] = by_class.get(rec.triple_class, 0) + 1
+        for cls, count in by_class.items():
+            assert census[cls] == count
+
+    def test_census_table_rows(self):
+        g = erdos_renyi(8, 0.4, seed=7)
+        h = build_triple_ftbfs(g, 0)
+        rows = census_table(h)
+        assert len(rows) == len(TripleClass)
+        assert all(len(r) == 3 for r in rows)
+
+    def test_paths_recorded_are_optimal(self):
+        from repro.core.canonical import DistanceOracle
+
+        g = erdos_renyi(10, 0.35, seed=9)
+        h = build_triple_ftbfs(g, 0, keep_records=True)
+        oracle = DistanceOracle(g)
+        for rec in h.stats["records"][:60]:
+            truth = oracle.distance(0, rec.vertex, banned_edges=rec.faults)
+            assert rec.path_length == truth
+
+    def test_classes_nonempty_somewhere(self):
+        """The taxonomy is not vacuous: PPP/PPD1/PD1D1 occur on real graphs."""
+        seen = set()
+        for seed in range(6):
+            g = erdos_renyi(11, 0.3, seed=seed)
+            h = build_triple_ftbfs(g, 0)
+            for cls, count in h.stats["class_census"].items():
+                if count:
+                    seen.add(cls)
+        assert TripleClass.PPP in seen
+        assert TripleClass.PPD1 in seen
+        assert TripleClass.PD1D1 in seen

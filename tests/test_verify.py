@@ -1,0 +1,105 @@
+"""Tests for the verification oracle itself (it must catch bad structures)."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.tree import BFSTree
+from repro.ftbfs import (
+    build_cons2ftbfs,
+    edge_is_necessary,
+    find_violation,
+    is_ft_mbfs,
+    prune_to_minimal,
+    verify_structure,
+)
+from repro.ftbfs.structures import make_structure
+from repro.generators import cycle_graph, erdos_renyi, path_graph
+
+
+def test_bfs_tree_alone_is_not_ft():
+    g = cycle_graph(6)
+    tree_edges = BFSTree(g, 0).edges()
+    bad = find_violation(g, tree_edges, [0], 1)
+    assert bad is not None
+    s, v, faults = bad
+    assert s == 0 and len(faults) <= 1
+
+
+def test_full_graph_always_verifies():
+    g = erdos_renyi(12, 0.3, seed=2)
+    assert is_ft_mbfs(g, g.edges(), [0], 2)
+
+
+def test_detects_single_missing_edge():
+    g = cycle_graph(5)
+    assert is_ft_mbfs(g, g.edges(), [0], 1)
+    for e in sorted(g.edges()):
+        reduced = set(g.edges()) - {e}
+        # dropping any cycle edge breaks 1-fault tolerance
+        assert not is_ft_mbfs(g, reduced, [0], 1)
+
+
+def test_verify_structure_raises_with_witness():
+    g = cycle_graph(6)
+    h = make_structure(g, (0,), 1, BFSTree(g, 0).edges(), "bogus")
+    with pytest.raises(VerificationError) as exc:
+        verify_structure(h)
+    assert exc.value.vertex is not None
+    assert exc.value.faults is not None
+
+
+def test_verify_fault_free_only():
+    """Even the empty fault set is checked (H must contain a BFS tree)."""
+    g = path_graph(4)
+    partial = [(0, 1), (1, 2)]  # vertex 3 unreachable in H
+    assert find_violation(g, partial, [0], 0) is not None
+
+
+def test_custom_fault_sets():
+    g = cycle_graph(8)
+    tree_edges = BFSTree(g, 0).edges()
+    # restricted workload that never hits the tree: verifies fine
+    non_tree = [e for e in sorted(g.edges()) if e not in tree_edges]
+    assert is_ft_mbfs(g, tree_edges, [0], 1, fault_sets=[(e,) for e in non_tree])
+    # but a tree fault exposes it
+    tree_fault = next(iter(sorted(tree_edges)))
+    assert not is_ft_mbfs(g, tree_edges, [0], 1, fault_sets=[(tree_fault,)])
+
+
+def test_multi_source_verification():
+    g = erdos_renyi(10, 0.3, seed=4)
+    h0 = build_cons2ftbfs(g, 0)
+    # valid for source 0 but (usually) not for every source
+    assert is_ft_mbfs(g, h0.edges, [0], 2)
+
+
+def test_edge_is_necessary():
+    g = cycle_graph(5)
+    e = next(iter(sorted(g.edges())))
+    assert edge_is_necessary(g, g.edges(), e, [0], 1)
+    # an edge is never "necessary" for a 0-fault budget if H minus it
+    # still contains a BFS tree
+    h = build_cons2ftbfs(g, 0)
+    non_tree = set(h.edges) - BFSTree(g, 0).edges()
+    for e in non_tree:
+        assert not edge_is_necessary(g, h.edges, e, [0], 0)
+
+
+def test_prune_to_minimal():
+    g = erdos_renyi(9, 0.4, seed=6)
+    h = build_cons2ftbfs(g, 0)
+    pruned = prune_to_minimal(g, h)
+    assert pruned.size <= h.size
+    verify_structure(pruned)
+    # inclusion-minimality: every remaining edge is necessary
+    for e in sorted(pruned.edges):
+        assert edge_is_necessary(g, pruned.edges, e, [0], 2)
+    assert pruned.builder.endswith("+pruned")
+
+
+def test_prune_rejects_mismatched_graph():
+    g1 = erdos_renyi(9, 0.4, seed=1)
+    g2 = erdos_renyi(12, 0.4, seed=2)
+    h = build_cons2ftbfs(g1, 0)
+    with pytest.raises(VerificationError):
+        prune_to_minimal(g2, h)

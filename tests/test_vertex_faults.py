@@ -1,0 +1,144 @@
+"""Tests for the vertex-fault-tolerant extension."""
+
+import pytest
+
+from repro.core.errors import GraphError, VerificationError
+from repro.core.graph import Graph
+from repro.core.tree import BFSTree
+from repro.ftbfs.vertex import (
+    VertexFTQueryOracle,
+    all_vertex_fault_sets,
+    build_generic_vertex_ftbfs,
+    build_single_vertex_ftbfs,
+    find_vertex_violation,
+    verify_vertex_structure,
+)
+from repro.core.canonical import DistanceOracle
+from repro.generators import cycle_graph, erdos_renyi, path_graph
+
+from tests.zoo import zoo_params
+
+
+def test_all_vertex_fault_sets():
+    g = path_graph(4)
+    singles = list(all_vertex_fault_sets(g, 1))
+    assert singles == [(0,), (1,), (2,), (3,)]
+    assert list(all_vertex_fault_sets(g, 1, forbidden=[0])) == [(1,), (2,), (3,)]
+    pairs = list(all_vertex_fault_sets(g, 2))
+    assert len(pairs) == 4 + 6
+
+
+@zoo_params()
+def test_single_vertex_builder_exhaustive(name, graph):
+    h = build_single_vertex_ftbfs(graph, 0)
+    verify_vertex_structure(h)
+    assert h.stats["fault_model"] == "vertex"
+
+
+@zoo_params()
+def test_generic_vertex_f1_matches_contract(name, graph):
+    h = build_generic_vertex_ftbfs(graph, 0, 1)
+    verify_vertex_structure(h)
+
+
+def test_generic_vertex_f2():
+    for seed in range(3):
+        g = erdos_renyi(11, 0.3, seed=seed)
+        h = build_generic_vertex_ftbfs(g, 0, 2)
+        verify_vertex_structure(h)
+
+
+def test_generic_vertex_f0_is_tree():
+    g = erdos_renyi(10, 0.3, seed=4)
+    h = build_generic_vertex_ftbfs(g, 0, 0)
+    assert h.edges == BFSTree(g, 0).edges()
+
+
+def test_vertex_tree_alone_insufficient():
+    g = cycle_graph(6)
+    tree_edges = BFSTree(g, 0).edges()
+    bad = find_vertex_violation(g, tree_edges, [0], 1)
+    assert bad is not None
+
+
+def test_verify_vertex_structure_raises():
+    from repro.ftbfs.structures import make_structure
+
+    g = cycle_graph(6)
+    h = make_structure(g, (0,), 1, BFSTree(g, 0).edges(), "bogus",
+                       stats={"fault_model": "vertex"})
+    with pytest.raises(VerificationError):
+        verify_vertex_structure(h)
+
+
+def test_vertex_vs_edge_fault_models_differ():
+    """A vertex fault removes all incident edges at once: the star
+    survives any single edge fault's requirement trivially but a hub
+    fault wipes everything — both models still verify on the full graph."""
+    g = Graph(5, [(0, 1), (1, 2), (1, 3), (0, 4), (4, 2)])
+    h = build_generic_vertex_ftbfs(g, 0, 1)
+    verify_vertex_structure(h)
+    # failing vertex 1 must leave the 0-4-2 route intact in H
+    oracle = VertexFTQueryOracle(h)
+    assert oracle.distance(0, 2, [1]) == 2
+
+
+class TestVertexOracle:
+    def setup_method(self):
+        self.g = erdos_renyi(14, 0.25, seed=9)
+        self.h = build_generic_vertex_ftbfs(self.g, 0, 1)
+        self.oracle = VertexFTQueryOracle(self.h)
+        self.truth = DistanceOracle(self.g)
+
+    def test_matches_ground_truth(self):
+        for u in range(1, self.g.n):
+            for v in range(1, self.g.n):
+                if v == u:
+                    continue
+                got = self.oracle.distance(0, v, [u])
+                want = self.truth.distance(0, v, banned_vertices=[u])
+                assert got == want
+
+    def test_path_valid(self):
+        for u in range(1, 6):
+            for v in range(6, 10):
+                if self.truth.distance(0, v, banned_vertices=[u]) == float("inf"):
+                    continue
+                p = self.oracle.path(0, v, [u])
+                assert u not in set(p.vertices)
+                assert p.target == v
+
+    def test_budget_enforced(self):
+        with pytest.raises(GraphError):
+            self.oracle.distance(0, 3, [1, 2])
+
+    def test_source_cannot_fail(self):
+        with pytest.raises(GraphError):
+            self.oracle.distance(0, 3, [0])
+
+    def test_foreign_source(self):
+        with pytest.raises(GraphError):
+            self.oracle.distance(5, 3)
+
+    def test_rejects_edge_model_structure(self):
+        from repro.ftbfs import build_cons2ftbfs
+
+        with pytest.raises(GraphError):
+            VertexFTQueryOracle(build_cons2ftbfs(self.g, 0))
+
+
+def test_vertex_size_vs_edge_size():
+    """Vertex structures are at least as constrained on these graphs."""
+    from repro.ftbfs import build_single_ftbfs
+
+    g = erdos_renyi(20, 0.2, seed=12)
+    hv = build_single_vertex_ftbfs(g, 0)
+    he = build_single_ftbfs(g, 0)
+    verify_vertex_structure(hv)
+    # no containment in general; both are modest fractions of G
+    assert hv.size <= g.m and he.size <= g.m
+
+
+def test_generic_vertex_rejects_negative():
+    with pytest.raises(GraphError):
+        build_generic_vertex_ftbfs(path_graph(3), 0, -2)

@@ -1,0 +1,59 @@
+"""Tests for fault-set and query samplers."""
+
+from repro.core.tree import BFSTree
+from repro.generators import (
+    all_fault_sets,
+    count_fault_sets,
+    erdos_renyi,
+    path_graph,
+    sample_fault_sets,
+    sample_queries,
+    sample_relevant_fault_sets,
+)
+
+
+def test_all_fault_sets_counts():
+    g = path_graph(5)  # 4 edges
+    singles = [f for f in all_fault_sets(g, 1)]
+    assert len(singles) == 4
+    pairs = [f for f in all_fault_sets(g, 2)]
+    assert len(pairs) == 4 + 6
+    assert count_fault_sets(g, 2) == 10
+
+
+def test_all_fault_sets_are_sorted_edge_tuples():
+    g = erdos_renyi(8, 0.3, seed=1)
+    for f in all_fault_sets(g, 2):
+        assert all(e in g.edges() for e in f)
+        assert list(f) == sorted(f)
+
+
+def test_sample_fault_sets_deterministic():
+    g = erdos_renyi(12, 0.3, seed=0)
+    a = sample_fault_sets(g, 2, 20, seed=9)
+    b = sample_fault_sets(g, 2, 20, seed=9)
+    assert a == b
+    assert all(len(f) == 2 for f in a)
+
+
+def test_sample_relevant_hits_tree():
+    g = erdos_renyi(15, 0.3, seed=2)
+    tree_edges = BFSTree(g, 0).edges()
+    for faults in sample_relevant_fault_sets(g, 0, 2, 30, seed=1):
+        assert len(faults) == 2
+        assert any(e in tree_edges for e in faults)
+
+
+def test_sample_relevant_single_fault():
+    g = erdos_renyi(10, 0.3, seed=3)
+    for faults in sample_relevant_fault_sets(g, 0, 1, 10, seed=2):
+        assert len(faults) == 1
+
+
+def test_sample_queries_shapes():
+    g = erdos_renyi(10, 0.3, seed=4)
+    qs = sample_queries(g, 2, 25, seed=5)
+    assert len(qs) == 25
+    for v, faults in qs:
+        assert 0 <= v < g.n
+        assert 0 <= len(faults) <= 2

@@ -1,0 +1,35 @@
+"""Deterministic zoo of small connected graphs shared across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.generators import (
+    barbell_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    tree_plus_chords,
+)
+
+
+def graph_zoo():
+    """A deterministic collection of small connected test graphs."""
+    return [
+        ("diamond", Graph(6, [(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3)])),
+        ("path6", path_graph(6)),
+        ("cycle7", cycle_graph(7)),
+        ("grid3x4", grid_graph(3, 4)),
+        ("barbell", barbell_graph(4, 2)),
+        ("er10", erdos_renyi(10, 0.25, seed=1)),
+        ("er13", erdos_renyi(13, 0.2, seed=2)),
+        ("er16", erdos_renyi(16, 0.18, seed=3)),
+        ("chords12", tree_plus_chords(12, 5, seed=4)),
+    ]
+
+
+def zoo_params():
+    zoo = graph_zoo()
+    return pytest.mark.parametrize("name,graph", zoo, ids=[name for name, _ in zoo])
