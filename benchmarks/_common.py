@@ -5,10 +5,17 @@ Every benchmark regenerates one table/figure-equivalent of the paper
 ``benchmarks/results/<exp>.txt`` so ``pytest benchmarks/
 --benchmark-only`` leaves a full record behind regardless of output
 capture.
+
+Benchmarks that measure performance additionally persist
+machine-readable results via :func:`emit_json` as
+``benchmarks/results/BENCH_<exp>.json`` (graph sizes, wall times, edge
+counts, speedups), so the perf trajectory across PRs can be tracked and
+diffed mechanically instead of by reading text tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Iterable, Sequence
 
@@ -23,6 +30,17 @@ def emit(exp_id: str, title: str, body: str) -> None:
     report = f"== {exp_id}: {title} ==\n{body}\n"
     print("\n" + report)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(report)
+
+
+def emit_json(exp_id: str, payload: dict) -> pathlib.Path:
+    """Persist machine-readable benchmark results next to the text table.
+
+    Writes ``results/BENCH_<exp>.json`` and returns the path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{exp_id}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -4,7 +4,30 @@ The paper argues preprocessing cost is secondary to structure size and
 usage quality; this benchmark quantifies all three on a fixed instance:
 builder wall-times (pytest-benchmark), structure sizes, and oracle query
 throughput from the stored structure.
+
+Since the flat-array traversal kernel landed, E10 additionally measures
+the **engine speedup**: the identical end-to-end workload (all exact
+builders plus a 200-query batch) is timed under the legacy ``lex``
+engine (layered dict BFS + hash-set ban tests, the pre-kernel system)
+and under the default ``lex-csr`` engine (pooled CSR kernel), across a
+ladder of graph sizes.  Results — including the speedup the kernel is
+required to sustain at the largest size — are persisted as
+machine-readable ``BENCH_E10.json`` via :func:`_common.emit_json`.
+
+Environment knobs (used by CI's quick smoke run):
+
+``REPRO_BENCH_SIZES``
+    Comma list of ``n:p`` ladder points (default ``80:0.07,120:0.05,200:0.035``).
+``REPRO_BENCH_ROUNDS``
+    Best-of rounds per arm (default 2).
+``REPRO_BENCH_MIN_SPEEDUP``
+    Required speedup at the largest ladder size (default 2.0; CI's
+    small smoke sizes set it lower — small graphs under-display the
+    kernel's advantage).
 """
+
+import os
+import time
 
 import pytest
 
@@ -18,7 +41,7 @@ from repro.ftbfs import (
 )
 from repro.generators import erdos_renyi, sample_queries
 
-from _common import emit, table
+from _common import emit, emit_json, table
 
 N, P, SEED = 80, 0.07, 20
 
@@ -77,3 +100,99 @@ def test_e10_oracle_queries(benchmark, shared_graph):
         ["query batch", "200 mixed 0-2 fault queries"],
     ]
     emit("E10", "construction & query cost summary", table(["item", "value"], rows))
+
+
+# ----------------------------------------------------------------------
+# engine comparison: legacy lex vs the default CSR kernel
+# ----------------------------------------------------------------------
+def _ladder():
+    spec = os.environ.get("REPRO_BENCH_SIZES", "80:0.07,120:0.05,200:0.035")
+    out = []
+    for item in spec.split(","):
+        n, _, p = item.partition(":")
+        out.append((int(n), float(p)))
+    return out
+
+
+def _suite(graph, queries, engine):
+    """The identical end-to-end E10 workload under one engine."""
+    build_single_ftbfs(graph, 0, engine=engine)
+    h = build_cons2ftbfs(graph, 0, engine=engine)
+    build_dual_ftbfs_simple(graph, 0, engine=engine)
+    build_generic_ftbfs(graph, 0, 2, engine=engine)
+    oracle = FTQueryOracle(h, engine=engine)
+    for v, faults in queries:
+        oracle.distance(0, v, faults)
+    return h
+
+
+def test_e10_engine_speedup(benchmark):
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+    ladder = _ladder()
+    rows = []
+    entries = []
+    for n, p in ladder:
+        g = erdos_renyi(n, p, seed=SEED)
+        queries = sample_queries(g, 2, 200, seed=2)
+        times = {}
+        sizes = {}
+        for engine in ("lex", "lex-csr"):
+            best = float("inf")
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                h = _suite(g, queries, engine)
+                best = min(best, time.perf_counter() - t0)
+            times[engine] = best
+            sizes[engine] = h.size
+        assert sizes["lex"] == sizes["lex-csr"]  # engines must agree exactly
+        speedup = times["lex"] / times["lex-csr"]
+        rows.append(
+            [
+                f"n={n}, m={g.m}",
+                f"{1000.0 * times['lex']:.1f}",
+                f"{1000.0 * times['lex-csr']:.1f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+        entries.append(
+            {
+                "n": n,
+                "p": p,
+                "m": g.m,
+                "structure_size": sizes["lex-csr"],
+                "legacy_lex_seconds": times["lex"],
+                "lex_csr_seconds": times["lex-csr"],
+                "speedup": speedup,
+            }
+        )
+    body = table(
+        ["graph", "lex (ms)", "lex-csr (ms)", "speedup"], rows
+    )
+    body += (
+        "\nWorkload: single + cons2 + simple-dual + generic(f=2) builds "
+        "\nplus 200 mixed-fault oracle queries, best of "
+        f"{rounds} rounds per engine."
+    )
+    emit("E10-engines", "flat-array kernel vs legacy engine", body)
+    largest = entries[-1]
+    emit_json(
+        "e10",
+        {
+            "experiment": "e10_runtime_engine_comparison",
+            "workload": "single+cons2+simple_dual+generic_f2+200 queries",
+            "rounds": rounds,
+            "ladder": entries,
+            "largest": largest,
+            "required_min_speedup": min_speedup,
+        },
+    )
+    assert largest["speedup"] >= min_speedup, (
+        f"lex-csr speedup {largest['speedup']:.2f}x at n={largest['n']} "
+        f"fell below the required {min_speedup}x"
+    )
+    g_small = erdos_renyi(ladder[0][0], ladder[0][1], seed=SEED)
+    q_small = sample_queries(g_small, 2, 50, seed=3)
+    benchmark.pedantic(
+        lambda: _suite(g_small, q_small, "lex-csr"), rounds=1, iterations=1
+    )

@@ -3,11 +3,18 @@
 Examples::
 
     python -m repro build  --graph er:n=60,p=0.08,seed=42 --builder cons2 \
-                           --source 0 --out h.json
+                           --source 0 --engine lex-csr --out h.json
     python -m repro verify h.json --exhaustive
     python -m repro query  h.json --target 37 --faults 0-29,1-22
     python -m repro info   h.json
     python -m repro lowerbound --n 150 --f 2 --check 25
+    python -m repro bench  --graph er:n=120,p=0.05,seed=7 --builder cons2 \
+                           --engine all --rounds 3
+
+Engines (``--engine``): ``lex-csr`` (default; flat-array CSR kernel),
+``lex`` (legacy layered reference), ``perturbed`` (paper-literal
+randomized weights).  ``bench --engine all`` times every engine on the
+same workload and reports speedups against the legacy ``lex`` engine.
 
 Graph specifications (``--graph``)::
 
@@ -24,6 +31,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.canonical import DEFAULT_ENGINE, ENGINES
 from repro.core.errors import GraphError, ReproError, VerificationError
 from repro.core.graph import Graph
 from repro.core.io import load_graph, load_structure, save_structure
@@ -46,12 +54,17 @@ from repro.lowerbound import (
 )
 
 BUILDERS: Dict[str, Callable] = {
-    "cons2": lambda g, s, f: build_cons2ftbfs(g, s),
-    "simple": lambda g, s, f: build_dual_ftbfs_simple(g, s),
-    "single": lambda g, s, f: build_single_ftbfs(g, s),
-    "generic": lambda g, s, f: build_generic_ftbfs(g, s, f),
-    "approx": lambda g, s, f: build_approx_ftmbfs(g, [s], f),
+    "cons2": lambda g, s, f, e: build_cons2ftbfs(g, s, engine=e),
+    "simple": lambda g, s, f, e: build_dual_ftbfs_simple(g, s, engine=e),
+    "single": lambda g, s, f, e: build_single_ftbfs(g, s, engine=e),
+    "generic": lambda g, s, f, e: build_generic_ftbfs(g, s, f, engine=e),
+    # The set-cover builder is oracle-driven; it has no canonical engine.
+    "approx": lambda g, s, f, e: build_approx_ftmbfs(g, [s], f),
 }
+
+#: Builders that ignore the canonical engine entirely; the CLI refuses
+#: to pretend an ``--engine`` choice affected them.
+ENGINE_AGNOSTIC_BUILDERS = {"approx"}
 
 
 def parse_graph_spec(spec: str) -> Graph:
@@ -100,11 +113,15 @@ def parse_faults(text: Optional[str]) -> List[tuple]:
 def cmd_build(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(args.graph)
     builder = BUILDERS[args.builder]
-    structure = builder(graph, args.source, args.f)
+    structure = builder(graph, args.source, args.f, args.engine)
     save_structure(structure, args.out)
+    engine_label = (
+        "n/a" if args.builder in ENGINE_AGNOSTIC_BUILDERS else args.engine
+    )
     print(
         f"built {structure.builder}: n={graph.n} m={graph.m} "
-        f"|H|={structure.size} f={structure.max_faults} -> {args.out}"
+        f"|H|={structure.size} f={structure.max_faults} "
+        f"engine={engine_label} -> {args.out}"
     )
     return 0
 
@@ -174,6 +191,70 @@ def cmd_lowerbound(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time a builder under one or all canonical engines.
+
+    Lets users compare the flat-array CSR kernel against the legacy
+    reference on their own graphs without touching the benchmarks
+    directory.  Reports best-of-``--rounds`` wall times and the speedup
+    relative to the legacy ``lex`` engine when it is included.
+    """
+    import json
+    import time
+
+    graph = parse_graph_spec(args.graph)
+    builder = BUILDERS[args.builder]
+    if args.builder in ENGINE_AGNOSTIC_BUILDERS:
+        # Timing it once per engine would present measurement noise as
+        # engine speedups — refuse instead of fabricating a comparison.
+        print(
+            f"error: builder {args.builder!r} is oracle-driven and ignores "
+            "the canonical engine; nothing to compare",
+            file=sys.stderr,
+        )
+        return 2
+    engines = sorted(ENGINES) if args.engine == "all" else [args.engine]
+    rounds = max(1, args.rounds)
+    results = []
+    for engine in engines:
+        best = float("inf")
+        size = None
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            structure = builder(graph, args.source, args.f, engine)
+            best = min(best, time.perf_counter() - t0)
+            size = structure.size
+        results.append({"engine": engine, "seconds": best, "structure_size": size})
+    baseline = next(
+        (r["seconds"] for r in results if r["engine"] == "lex"), None
+    )
+    print(
+        f"bench {args.builder} on n={graph.n} m={graph.m} "
+        f"(best of {rounds} rounds)"
+    )
+    for r in results:
+        speedup = (
+            f"{baseline / r['seconds']:6.2f}x vs lex" if baseline else ""
+        )
+        r["speedup_vs_lex"] = baseline / r["seconds"] if baseline else None
+        print(
+            f"  {r['engine']:<10s} {1000.0 * r['seconds']:9.1f} ms  "
+            f"|H|={r['structure_size']}  {speedup}"
+        )
+    if args.json:
+        payload = {
+            "builder": args.builder,
+            "graph": {"spec": args.graph, "n": graph.n, "m": graph.m},
+            "rounds": rounds,
+            "results": results,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run one (or all) of the E1-E14 experiment benchmarks via pytest."""
     import pathlib
@@ -208,6 +289,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--builder", choices=sorted(BUILDERS), default="cons2")
     p_build.add_argument("--source", type=int, default=0)
     p_build.add_argument("--f", type=int, default=2, help="fault budget (generic/approx)")
+    p_build.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=DEFAULT_ENGINE,
+        help="canonical shortest-path engine (default: %(default)s)",
+    )
     p_build.add_argument("--out", required=True)
     p_build.set_defaults(func=cmd_build)
 
@@ -236,6 +323,29 @@ def make_parser() -> argparse.ArgumentParser:
                       help="verify this many forced-edge certificates")
     p_lb.set_defaults(func=cmd_lowerbound)
 
+    p_bench = sub.add_parser(
+        "bench", help="time a builder under one or all engines"
+    )
+    p_bench.add_argument(
+        "--graph", default="er:n=80,p=0.07,seed=20",
+        help="graph spec (see module docs)",
+    )
+    p_bench.add_argument("--builder", choices=sorted(BUILDERS), default="cons2")
+    p_bench.add_argument("--source", type=int, default=0)
+    p_bench.add_argument("--f", type=int, default=2,
+                         help="fault budget (generic/approx)")
+    p_bench.add_argument(
+        "--engine",
+        choices=sorted(ENGINES) + ["all"],
+        default="all",
+        help="engine to time, or 'all' to compare (default)",
+    )
+    p_bench.add_argument("--rounds", type=int, default=3,
+                         help="take the best of this many runs")
+    p_bench.add_argument("--json", default=None,
+                         help="also write machine-readable results here")
+    p_bench.set_defaults(func=cmd_bench)
+
     p_exp = sub.add_parser(
         "experiment", help="run an experiment benchmark (E1..E14 or 'all')"
     )
@@ -249,7 +359,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as err:
+    except (ReproError, OSError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 

@@ -4,12 +4,24 @@ Every proof in the paper assumes a weight assignment ``W`` that breaks
 shortest-path ties consistently, so that ``SP(u, v, G', W)`` is a *unique*
 path for every subgraph ``G'`` and the choice is globally consistent
 (subpaths of chosen paths are themselves chosen).  This module supplies
-that abstraction with two interchangeable engines:
+that abstraction with three interchangeable engines:
 
-``LexShortestPaths`` (default)
+``CSRLexShortestPaths`` (``"lex-csr"``, the default)
     Computes, for every vertex, the lexicographically-minimal shortest
-    path by vertex sequence.  This is deterministic and exact, and it
-    satisfies the two properties the proofs actually consume:
+    path by vertex sequence, on top of the flat-array kernel of
+    :mod:`repro.core.csr`: a pooled, allocation-free restricted BFS over
+    a compressed-sparse-row snapshot with generation-stamped visit and
+    ban buffers.  A FIFO BFS over sorted adjacency that keeps the first
+    discoverer as parent produces exactly the lex-minimal canonical
+    paths (see the kernel module docstring for the argument), so this
+    engine is bit-for-bit equivalent to ``LexShortestPaths`` — asserted
+    by ``tests/test_csr_equivalence.py`` — while being several times
+    faster.
+
+``LexShortestPaths`` (``"lex"``)
+    The legacy layered reference implementation of the same order.  It
+    is deterministic and exact, and it satisfies the two properties the
+    proofs actually consume:
 
     * **uniqueness** — two distinct equal-length paths always differ in
       their vertex sequences, so exactly one is canonical;
@@ -17,21 +29,30 @@ that abstraction with two interchangeable engines:
       canonical path is the canonical path between its endpoints
       (restricted to the same subgraph).
 
-``PerturbedShortestPaths``
+    Kept as the independent reference the CSR engine is validated
+    against (and paired with the legacy :class:`PythonDistanceOracle`
+    so ``--engine lex`` reproduces the pre-kernel behavior end to end,
+    which is what the engine-comparison benchmarks measure).
+
+``PerturbedShortestPaths`` (``"perturbed"``)
     A literal implementation of the paper's ``W``: Dijkstra over integer
     weights ``W(e) = B + r_e`` where ``r_e`` are seeded 128-bit random
     values and ``B`` is large enough that hop count always dominates.
     Exact integer arithmetic; shortest paths are unique except with
-    probability ``≈ 2^-100``.
+    probability ``≈ 2^-100``.  Its inner loop also runs on the CSR
+    kernel (per-edge-id weight table, stamped bans).
 
 Fault simulation is expressed with *banned* vertex/edge sets interpreted
 in the traversal inner loop — restricted graphs like ``G \\ F``,
 ``G(u_k, u_l)`` (Eq. 3) and ``G_D(w_ℓ)`` (Eq. 4) never require copying
 the graph.
 
-The module also provides :func:`bfs_distances`, a fast stamped BFS used
-for the (tie-breaking-independent) distance feasibility checks that make
-up the bulk of Algorithm ``Cons2FTBFS``'s work.
+The module also provides :class:`DistanceOracle` (CSR-backed, with a
+keyed memo cache for the repeated ``(source, target, F)`` feasibility
+checks that dominate Algorithm ``Cons2FTBFS``), the batched
+:meth:`DistanceOracle.multi_source_distances` API for FT-MBFS
+workloads, and the one-shot helpers :func:`bfs_distances` /
+:func:`bfs_distance`.
 """
 
 from __future__ import annotations
@@ -41,6 +62,7 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.csr import CSRGraph, csr_of
 from repro.core.errors import DisconnectedError, GraphError
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.paths import Path, path_from_parents
@@ -117,14 +139,130 @@ def _normalize_banned_vertices(banned_vertices) -> Optional[Set[int]]:
     return set(banned_vertices)
 
 
+class CSRLexShortestPaths:
+    """Lexicographic canonical shortest paths on the flat-array kernel.
+
+    A FIFO BFS over the CSR snapshot's sorted adjacency, keeping the
+    first discoverer of each vertex as its parent, yields exactly the
+    lex-minimal shortest path tree (equivalence argument in
+    :mod:`repro.core.csr`).  All scratch state is pooled on the shared
+    snapshot, so a search allocates only its result arrays.
+    """
+
+    name = "lex-csr"
+
+    def __init__(self, graph: Graph, cache_size: int = 8_192) -> None:
+        self.graph = graph
+        self._csr = csr_of(graph)
+        # Keyed memo for repeated (source, banned) searches: builders
+        # like Cons2FTBFS and the generic enumerators re-request the
+        # same restriction for many targets.  Entries are (result,
+        # complete); a target-stopped search is cached as incomplete and
+        # only serves vertices it actually reached — a repeat that needs
+        # more is promoted to a (cached) full search.
+        self._cache: Dict[tuple, Tuple[SearchResult, bool]] = {}
+        self._cache_size = cache_size
+
+    def _snapshot(self) -> CSRGraph:
+        """The live CSR snapshot; rebuilt (and memo dropped) after mutation.
+
+        The legacy engine read ``adjacency()`` on every search, so
+        mutating the graph between searches must keep working here too.
+        """
+        csr = self._csr
+        if csr.version != self.graph.version:
+            csr = csr_of(self.graph)
+            self._csr = csr
+            self._cache.clear()
+        return csr
+
+    def _restriction_key(self, csr, source, banned_edges, banned_vertices):
+        eids = csr.resolve_edge_ids(banned_edges)
+        eids.sort()
+        verts = sorted(set(banned_vertices)) if banned_vertices else []
+        return (source, tuple(eids), tuple(verts)), eids, verts
+
+    def _run(self, csr: CSRGraph, source: int, eids, verts, target) -> SearchResult:
+        ban = csr.stamp_edge_ids(eids, verts)
+        if csr.source_banned(source, ban):
+            raise GraphError(f"source {source} is banned")
+        csr.bfs(source, ban, target)
+        dist, parent = csr.collect()
+        return SearchResult(source, dist, parent)
+
+    def search(
+        self,
+        source: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+        target: Optional[int] = None,
+    ) -> SearchResult:
+        """Run the canonical search from ``source`` under a restriction.
+
+        Parameters
+        ----------
+        banned_edges / banned_vertices:
+            The restriction (fault set and/or masked-out path vertices).
+            The source must not be banned.
+        target:
+            If given, the search stops as soon as ``target`` is
+            discovered (its canonical parent, and the parents of every
+            vertex on its canonical path, are final at that point).
+
+        Results may be served from the keyed memo cache; treat the
+        returned :class:`SearchResult` as immutable (as its contract
+        already requires).
+        """
+        if not self.graph.has_vertex(source):
+            raise GraphError(f"invalid source {source}")
+        csr = self._snapshot()
+        key, eids, verts = self._restriction_key(
+            csr, source, banned_edges, banned_vertices
+        )
+        cache = self._cache
+        entry = cache.get(key)
+        if entry is not None:
+            res, complete = entry
+            if complete or (target is not None and res.reached(target)):
+                return res
+            # Second request needing deeper coverage: promote to full.
+            res = self._run(csr, source, eids, verts, None)
+            cache[key] = (res, True)
+            return res
+        res = self._run(csr, source, eids, verts, target)
+        # A target search that exhausted the graph (target unreachable)
+        # is a complete search.
+        complete = target is None or not res.reached(target)
+        if len(cache) >= self._cache_size:
+            cache.clear()
+        cache[key] = (res, complete)
+        return res
+
+    def canonical_path(
+        self,
+        source: int,
+        target: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> Path:
+        """``SP(source, target, G', W)``: the unique canonical path."""
+        res = self.search(source, banned_edges, banned_vertices, target=target)
+        return res.path(target)
+
+
 class LexShortestPaths:
-    """Layered BFS computing lexicographically-minimal shortest paths.
+    """Legacy layered BFS computing lexicographically-minimal shortest paths.
 
     Within each BFS layer, vertices are ranked by the lexicographic
     order of their canonical paths; the canonical parent of a next-layer
     vertex is its minimum-rank predecessor, and next-layer ranks follow
     ``(parent rank, vertex id)``.  This realizes the lex-min path for
     every vertex in ``O(m + n log n)`` per source.
+
+    :class:`CSRLexShortestPaths` computes the identical assignment on
+    the flat-array kernel and is the default engine; this implementation
+    is retained as the independent reference for the equivalence tests
+    and the engine-comparison benchmarks.
     """
 
     name = "lex"
@@ -211,6 +349,10 @@ class PerturbedShortestPaths:
     of perturbations.  With these weights all shortest paths are unique
     except with negligible probability, realizing the paper's ``W``
     verbatim.
+
+    The inner loop runs on the CSR kernel: weights are tabulated per
+    edge id, bans are generation stamps, and the settled/seen flags are
+    pooled stamp buffers — only the heap is allocated per search.
     """
 
     name = "perturbed"
@@ -227,6 +369,20 @@ class PerturbedShortestPaths:
         self._r: Dict[Edge, int] = {}
         for e in sorted(graph.edges()):
             self._r[e] = rng.getrandbits(self._R_BITS)
+        csr = csr_of(graph)
+        self._csr = csr
+        # Edge id i is the i-th edge in sorted order (CSRGraph contract),
+        # so the weight table lines up with the PRNG draw order.
+        big = self._big
+        self._w_eid: List[int] = [0] * csr.m
+        for e, i in csr.edge_index.items():
+            self._w_eid[i] = big + self._r[e]
+        n = graph.n
+        self._seen = [UNREACHED] * n
+        self._done = [UNREACHED] * n
+        self._cost: List[int] = [0] * n
+        self._parent = [UNREACHED] * n
+        self._gen = 0
 
     def weight(self, u: int, v: int) -> int:
         """The exact integer weight of edge ``{u, v}``."""
@@ -247,47 +403,55 @@ class PerturbedShortestPaths:
         g = self.graph
         if not g.has_vertex(source):
             raise GraphError(f"invalid source {source}")
-        be = _normalize_banned_edges(banned_edges)
-        bv = _normalize_banned_vertices(banned_vertices)
-        if bv is not None and source in bv:
+        csr = self._csr
+        bg, have_e, have_v = csr.stamp_bans(banned_edges, banned_vertices)
+        vban = csr._vban
+        eban = csr._eban
+        if have_v and vban[source] == bg:
             raise GraphError(f"source {source} is banned")
-        adj = g.adjacency()
         n = g.n
-        big = self._big
-        r = self._r
-        cost: List[Optional[int]] = [None] * n
-        parent = [UNREACHED] * n
-        done = [False] * n
+        gen = self._gen + 1
+        self._gen = gen
+        seen = self._seen
+        done = self._done
+        cost = self._cost
+        parent = self._parent
+        arcs = csr.arcs
+        wts = self._w_eid
+        seen[source] = gen
         cost[source] = 0
         parent[source] = source
         heap: List[Tuple[int, int]] = [(0, source)]
         while heap:
             cu, u = heappop(heap)
-            if done[u] or cost[u] != cu:
+            if done[u] == gen or cost[u] != cu:
                 continue
-            done[u] = True
+            done[u] = gen
             if target is not None and u == target:
                 break
-            for w in adj[u]:
-                if done[w]:
+            for w, e in arcs[u]:
+                if done[w] == gen:
                     continue
-                if bv is not None and w in bv:
+                if have_v and vban[w] == bg:
                     continue
-                e = (u, w) if u < w else (w, u)
-                if be is not None and e in be:
+                if have_e and eban[e] == bg:
                     continue
-                cw = cu + big + r[e]
-                if cost[w] is None or cw < cost[w]:
+                cw = cu + wts[e]
+                if seen[w] != gen or cw < cost[w]:
+                    seen[w] = gen
                     cost[w] = cw
                     parent[w] = u
                     heappush(heap, (cw, w))
+        big = self._big
         dist = [
-            UNREACHED if (c is None or not done[v]) else c // big
-            for v, c in enumerate(cost)
+            cost[v] // big if done[v] == gen else UNREACHED for v in range(n)
         ]
         # With a target we may have stopped early; vertices already
         # settled keep exact distances, unsettled ones report unreached.
-        return SearchResult(source, dist, parent)
+        parent_out = [
+            parent[v] if seen[v] == gen else UNREACHED for v in range(n)
+        ]
+        return SearchResult(source, dist, parent_out)
 
     def canonical_path(
         self,
@@ -301,31 +465,115 @@ class PerturbedShortestPaths:
         return res.path(target)
 
 
-#: Registry of available engines, keyed by their ``name``.
-ENGINES = {
-    LexShortestPaths.name: LexShortestPaths,
-    PerturbedShortestPaths.name: PerturbedShortestPaths,
-}
-
-
-def make_engine(graph: Graph, engine: str = "lex", **kwargs):
-    """Instantiate a shortest-path engine by name (``lex`` / ``perturbed``)."""
-    try:
-        cls = ENGINES[engine]
-    except KeyError:
-        raise GraphError(
-            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
-        ) from None
-    return cls(graph, **kwargs)
-
-
 class DistanceOracle:
-    """Fast repeated plain-BFS distance queries on one graph.
+    """Fast repeated plain-BFS distance queries on one graph (CSR-backed).
 
     Tie-breaking does not affect distances, so all feasibility checks in
     the constructions use this stamped BFS rather than the canonical
-    engines.  Buffers are allocated once and reused via a visit stamp,
-    which keeps each query allocation-free.
+    engines.  The heavy lifting happens in the pooled kernel of
+    :mod:`repro.core.csr`: each query stamps its restriction in O(|F|)
+    and traverses with O(1) array-lookup ban tests, performing zero
+    per-call allocation.
+
+    Point queries additionally go through a keyed memo cache:
+    ``Cons2FTBFS`` re-runs many identical ``(source, target, F)``
+    feasibility checks (step 3 probes each fault pair up to three
+    times), and the memo answers repeats in O(|F| log |F|) key-building
+    time instead of a BFS.  The cache is cleared wholesale when it
+    exceeds ``cache_size`` entries.
+    """
+
+    __slots__ = ("graph", "_csr", "_cache", "_cache_size")
+
+    def __init__(self, graph: Graph, cache_size: int = 262_144) -> None:
+        self.graph = graph
+        self._csr = csr_of(graph)
+        self._cache: Dict[tuple, int] = {}
+        self._cache_size = cache_size
+
+    def _snapshot(self) -> CSRGraph:
+        """The live CSR snapshot; rebuilt (and memo dropped) after mutation."""
+        csr = self._csr
+        if csr.version != self.graph.version:
+            csr = csr_of(self.graph)
+            self._csr = csr
+            self._cache.clear()
+        return csr
+
+    def distance(
+        self,
+        source: int,
+        target: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> float:
+        """Hop distance source→target under a restriction (inf if cut)."""
+        csr = self._snapshot()
+        eids = csr.resolve_edge_ids(banned_edges)
+        eids.sort()
+        if banned_vertices:
+            verts = sorted(set(banned_vertices))
+        else:
+            verts = []
+        key = (source, target, tuple(eids), tuple(verts))
+        cache = self._cache
+        d = cache.get(key)
+        if d is None:
+            if 0 <= target < csr.n:
+                d = csr.bidir_distance(
+                    source, target, csr.stamp_edge_ids(eids, verts)
+                )
+            else:
+                d = UNREACHED  # match the legacy "never found" behavior
+            if len(cache) >= self._cache_size:
+                cache.clear()
+            cache[key] = d
+        return INF if d == UNREACHED else d
+
+    def distances_from(
+        self,
+        source: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> List[int]:
+        """All hop distances from ``source`` (``-1`` = unreachable).
+
+        Returns a fresh list safe to keep.
+        """
+        csr = self._snapshot()
+        csr.bfs_dists(source, csr.stamp_bans(banned_edges, banned_vertices))
+        return csr.distances_list()
+
+    def multi_source_distances(
+        self,
+        sources: Sequence[int],
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> List[List[int]]:
+        """Distance vectors from each source under one shared restriction.
+
+        The restriction is stamped once and reused across the per-source
+        searches (kernel pooling invariant 2), which is the batched
+        entry point for FT-MBFS workloads: ``σ`` sources × one fault
+        set costs one ban normalization instead of ``σ``.
+        """
+        csr = self._snapshot()
+        ban = csr.stamp_bans(banned_edges, banned_vertices)
+        out: List[List[int]] = []
+        for s in sources:
+            csr.bfs_dists(s, ban)
+            out.append(csr.distances_list())
+        return out
+
+
+class PythonDistanceOracle:
+    """Legacy pure-Python stamped BFS oracle (pre-kernel reference).
+
+    Functionally identical to :class:`DistanceOracle` but normalizes the
+    fault set into hash sets per query and tests bans with tuple
+    hashing.  Retained (and paired with the legacy ``lex`` engine) so
+    the CSR kernel has an in-tree behavioral reference and the
+    engine-comparison benchmarks measure a faithful before/after.
     """
 
     __slots__ = ("graph", "_adj", "_stamp", "_mark", "_dist", "_queue")
@@ -405,14 +653,50 @@ class DistanceOracle:
         return None if target is not None else -2
 
 
+#: Oracle family matching each engine: legacy engines pair with the
+#: legacy oracle (so ``--engine lex`` reproduces the pre-kernel system
+#: end to end), CSR-backed engines pair with the CSR oracle.
+LexShortestPaths.oracle_class = PythonDistanceOracle
+CSRLexShortestPaths.oracle_class = DistanceOracle
+PerturbedShortestPaths.oracle_class = DistanceOracle
+
+
+#: Registry of available engines, keyed by their ``name``.
+ENGINES = {
+    CSRLexShortestPaths.name: CSRLexShortestPaths,
+    LexShortestPaths.name: LexShortestPaths,
+    PerturbedShortestPaths.name: PerturbedShortestPaths,
+}
+
+#: Default engine used whenever callers pass ``engine=None``.
+DEFAULT_ENGINE = CSRLexShortestPaths.name
+
+
+def make_engine(graph: Graph, engine: str = DEFAULT_ENGINE, **kwargs):
+    """Instantiate a shortest-path engine by name (``lex-csr`` / ``lex`` / ``perturbed``)."""
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise GraphError(
+            f"unknown engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
+    return cls(graph, **kwargs)
+
+
 def bfs_distances(
     graph: Graph,
     source: int,
     banned_edges: Iterable[Sequence[int]] = (),
     banned_vertices: Iterable[int] = (),
 ) -> List[int]:
-    """One-shot plain BFS distance vector (``-1`` = unreachable)."""
-    return DistanceOracle(graph).distances_from(source, banned_edges, banned_vertices)
+    """One-shot plain BFS distance vector (``-1`` = unreachable).
+
+    Runs on the graph's shared CSR snapshot, so repeated one-shot calls
+    on the same graph reuse the pooled kernel.
+    """
+    csr = csr_of(graph)
+    csr.bfs_dists(source, csr.stamp_bans(banned_edges, banned_vertices))
+    return csr.distances_list()
 
 
 def bfs_distance(
@@ -423,7 +707,25 @@ def bfs_distance(
     banned_vertices: Iterable[int] = (),
 ) -> float:
     """One-shot plain BFS point-to-point distance (``inf`` if cut)."""
-    return DistanceOracle(graph).distance(source, target, banned_edges, banned_vertices)
+    csr = csr_of(graph)
+    if not (0 <= target < csr.n):
+        return INF
+    d = csr.bidir_distance(
+        source, target, csr.stamp_bans(banned_edges, banned_vertices)
+    )
+    return INF if d == UNREACHED else d
+
+
+def multi_source_distances(
+    graph: Graph,
+    sources: Sequence[int],
+    banned_edges: Iterable[Sequence[int]] = (),
+    banned_vertices: Iterable[int] = (),
+) -> List[List[int]]:
+    """Batched one-shot distance vectors (one shared ban stamping)."""
+    return DistanceOracle(graph).multi_source_distances(
+        sources, banned_edges, banned_vertices
+    )
 
 
 def eccentricity(graph: Graph, source: int) -> int:

@@ -1,0 +1,590 @@
+"""Flat-array traversal kernel: CSR graph snapshots + pooled restricted BFS.
+
+Every construction in the paper is driven by thousands of *restricted*
+searches — BFS over ``G \\ F`` where ``F`` is a banned edge/vertex set.
+The legacy engines re-normalized the fault set into hash sets and
+re-allocated per-call queues and dictionaries for every query, which
+dominated the wall time of all builders.  This module is the shared
+substrate that removes that overhead once, for every layer above it
+(:mod:`repro.core.canonical`, the ``ftbfs`` builders, ``replacement``,
+``lowerbound`` and ``analysis``):
+
+**CSR snapshot.**  :class:`CSRGraph` freezes a :class:`~repro.core.graph.Graph`
+into compressed-sparse-row form: ``indptr``/``nbr`` are flat
+:mod:`array` vectors (``nbr[indptr[u]:indptr[u+1]]`` lists ``u``'s
+neighbors in sorted order) and ``arc_eid`` maps each directed arc to the
+id of its undirected edge.  Because CPython iterates small tuples faster
+than it indexes ``array`` objects, the kernel additionally materializes
+per-vertex *iteration views* (``rows[u]`` — neighbor tuples — and
+``arcs[u]`` — ``(neighbor, edge_id)`` tuples) derived from the flat
+arrays; the flat arrays remain the canonical storage and are what
+batch/bulk consumers should read.
+
+**The stamp trick.**  All scratch state is allocated once per snapshot
+and never cleared.  Instead, every buffer entry is paired with a
+*generation stamp*:
+
+* ``visit[v] == gen`` means ``v`` was reached by the *current* search
+  (generation ``gen``); any other value is garbage left over from an
+  earlier search and is treated as "unvisited".  Starting a new search
+  is therefore ``gen += 1`` — an O(1) wipe of all n entries.
+* ``eban[eid] == ban_gen`` / ``vban[v] == ban_gen`` mean the edge/vertex
+  is banned *for the current restriction* (generation ``ban_gen``).
+  Applying a fault set costs O(|F|) stores and zero allocations, and
+  testing a ban in the inner loop is a single list index — no tuple
+  construction, no hashing, no set membership.
+
+Pooling invariants (relied on by :mod:`repro.core.canonical`):
+
+1. A search's scratch contents are only valid until the next call that
+   bumps the same generation counter — callers that need to keep
+   results (e.g. :class:`~repro.core.canonical.SearchResult`) copy them
+   out with :meth:`CSRGraph.collect`.
+2. Ban stamps and visit stamps advance independently, so one ban
+   application (``stamp_bans``) can serve many searches — the batched
+   :meth:`multi-source <repro.core.canonical.DistanceOracle.multi_source_distances>`
+   API stamps the restriction once and re-runs the BFS per source.
+3. Generation counters only ever increase; a stale stamp can never
+   alias a live one.
+
+**Restricted BFS == canonical lex search.**  The kernel's FIFO BFS over
+sorted adjacency, taking the *first discoverer* as parent, computes
+exactly the lexicographically-minimal shortest paths that
+``LexShortestPaths`` defines: processing a BFS layer in lex-rank order
+and scanning sorted neighbor lists discovers next-layer vertices in
+``(parent rank, vertex id)`` order, which *is* the next layer's lex-rank
+order, and the first (minimum-rank) discoverer is the canonical parent.
+This is asserted against the legacy layered implementation by the
+equivalence property tests (``tests/test_csr_equivalence.py``).
+
+The snapshot is cached on the graph (versioned, invalidated by
+mutation) via :func:`csr_of`, so the canonical engine, the distance
+oracle and the BFS tree of one :class:`~repro.replacement.base.SourceContext`
+all share a single pool.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.graph import Edge, Graph
+
+#: Stamp value meaning "never used"; all generation counters start above it.
+UNREACHED = -1
+
+
+def csr_of(graph: Graph) -> "CSRGraph":
+    """The (cached) CSR snapshot of ``graph``.
+
+    The snapshot is stored on the graph together with the graph's
+    mutation version; mutating the graph (``add_edge``/``add_vertex``)
+    invalidates the cache and the next call rebuilds.  All kernel
+    consumers go through this function so that one graph has one shared
+    scratch pool.
+    """
+    cached = graph._csr_cache
+    if cached is not None and cached.version == graph.version:
+        return cached
+    snapshot = CSRGraph(graph)
+    graph._csr_cache = snapshot
+    return snapshot
+
+
+class CSRGraph:
+    """A frozen flat-array snapshot of a graph plus pooled BFS scratch.
+
+    Attributes
+    ----------
+    indptr, nbr, arc_eid:
+        The CSR topology: flat ``array('q')`` vectors.  Arc ``p`` (for
+        ``indptr[u] <= p < indptr[u+1]``) goes from ``u`` to ``nbr[p]``
+        and belongs to undirected edge ``arc_eid[p]``.
+    edge_index:
+        Normalized edge tuple → dense edge id in ``[0, m)``.
+    rows, arcs:
+        Per-vertex iteration views derived from the flat arrays (see
+        module docstring).
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "version",
+        "indptr",
+        "nbr",
+        "arc_eid",
+        "edge_index",
+        "rows",
+        "arcs",
+        "_visit",
+        "_dist",
+        "_parent",
+        "_queue",
+        "_vban",
+        "_eban",
+        "_gen",
+        "_ban_gen",
+        "_count",
+        "_visit2",
+        "_dist2",
+        "_gen2",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        graph.finalize()
+        adj = graph.adjacency()
+        n = graph.n
+        self.n = n
+        self.version = graph.version
+        self.edge_index: Dict[Edge, int] = {
+            e: i for i, e in enumerate(sorted(graph.edges()))
+        }
+        self.m = len(self.edge_index)
+        indptr = [0]
+        nbr: List[int] = []
+        arc_eid: List[int] = []
+        eidx = self.edge_index
+        for u in range(n):
+            for w in adj[u]:
+                nbr.append(w)
+                arc_eid.append(eidx[(u, w) if u < w else (w, u)])
+            indptr.append(len(nbr))
+        self.indptr = array("q", indptr)
+        self.nbr = array("q", nbr)
+        self.arc_eid = array("q", arc_eid)
+        # Iteration views (see module docstring for why these exist).
+        self.rows: List[Tuple[int, ...]] = [tuple(adj[u]) for u in range(n)]
+        self.arcs: List[Tuple[Tuple[int, int], ...]] = [
+            tuple(
+                zip(
+                    self.rows[u],
+                    arc_eid[indptr[u] : indptr[u + 1]],
+                )
+            )
+            for u in range(n)
+        ]
+        # Pooled scratch (stamped; see module docstring).
+        self._visit = [UNREACHED] * n
+        self._dist = [0] * n
+        self._parent = [0] * n
+        self._queue = [0] * n
+        self._vban = [UNREACHED] * n
+        self._eban = [UNREACHED] * self.m
+        self._gen = 0
+        self._ban_gen = 0
+        self._count = 0
+        # Second stamped label set for the bidirectional point query.
+        self._visit2 = [UNREACHED] * n
+        self._dist2 = [0] * n
+        self._gen2 = 0
+
+    # ------------------------------------------------------------------
+    # restriction stamping
+    # ------------------------------------------------------------------
+    def resolve_edge_ids(self, banned_edges: Iterable[Sequence[int]]) -> List[int]:
+        """Map edge-like pairs to dense edge ids, dropping unknown edges.
+
+        Edges not present in the graph are ignored (they cannot be
+        traversed anyway), matching the legacy engines.  This is the
+        single normalization point shared by ban stamping and the memo
+        key builders — they must agree on which edges count.
+        """
+        eids: List[int] = []
+        if banned_edges:
+            eidx = self.edge_index
+            for e in banned_edges:
+                u, v = e[0], e[1]
+                i = eidx.get((u, v) if u < v else (v, u))
+                if i is not None:
+                    eids.append(i)
+        return eids
+
+    def stamp_bans(
+        self,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> Tuple[int, bool, bool]:
+        """Stamp a restriction; returns ``(ban_gen, any_edges, any_vertices)``.
+
+        The stamp stays valid until the next ``stamp_bans`` call, so
+        several searches can share one restriction.
+        """
+        return self.stamp_edge_ids(
+            self.resolve_edge_ids(banned_edges), banned_vertices
+        )
+
+    def stamp_edge_ids(self, edge_ids: Iterable[int], vertices: Iterable[int]) -> Tuple[int, bool, bool]:
+        """Like :meth:`stamp_bans` but from pre-resolved edge ids."""
+        bg = self._ban_gen + 1
+        self._ban_gen = bg
+        have_e = False
+        have_v = False
+        eban = self._eban
+        for i in edge_ids:
+            eban[i] = bg
+            have_e = True
+        vban = self._vban
+        for v in vertices:
+            vban[v] = bg
+            have_v = True
+        return bg, have_e, have_v
+
+    def source_banned(self, source: int, ban: Tuple[int, bool, bool]) -> bool:
+        """True iff ``source`` is vertex-banned under the given stamp."""
+        bg, _, have_v = ban
+        return have_v and self._vban[source] == bg
+
+    # ------------------------------------------------------------------
+    # the kernel
+    # ------------------------------------------------------------------
+    def bfs(
+        self,
+        source: int,
+        ban: Tuple[int, bool, bool],
+        target: Optional[int] = None,
+    ) -> int:
+        """Pooled restricted BFS from ``source`` under a stamped restriction.
+
+        Returns the hop distance to ``target`` (``-1`` when ``target``
+        is ``None`` or unreachable).  With a target the search stops as
+        soon as the target is *discovered* — its distance and canonical
+        parent, and those of every vertex on its canonical path, are
+        final at that point (first discovery is final in BFS).
+
+        Afterwards ``self._count`` vertices (``self._queue[:count]``)
+        carry valid ``_dist``/``_parent`` entries for generation
+        ``self._gen``.  The caller must copy anything it wants to keep
+        (:meth:`collect`) before the next search.
+
+        The four loop variants below are deliberate: hoisting the
+        ban-mode branches out of the inner loop is worth ~30% in
+        CPython, and this loop is the hottest code in the library.
+        """
+        bg, have_e, have_v = ban
+        gen = self._gen + 1
+        self._gen = gen
+        if have_v and self._vban[source] == bg:
+            self._count = 0
+            return UNREACHED
+        visit = self._visit
+        dist = self._dist
+        parent = self._parent
+        q = self._queue
+        visit[source] = gen
+        dist[source] = 0
+        parent[source] = source
+        q[0] = source
+        self._count = 1
+        if target == source:
+            return 0
+        head = 0
+        tail = 1
+        if have_e:
+            arcs = self.arcs
+            eban = self._eban
+            if have_v:
+                vban = self._vban
+                while head < tail:
+                    u = q[head]
+                    head += 1
+                    du = dist[u] + 1
+                    for w, e in arcs[u]:
+                        if visit[w] == gen or eban[e] == bg or vban[w] == bg:
+                            continue
+                        visit[w] = gen
+                        dist[w] = du
+                        parent[w] = u
+                        q[tail] = w
+                        tail += 1
+                        if w == target:
+                            self._count = tail
+                            return du
+            else:
+                while head < tail:
+                    u = q[head]
+                    head += 1
+                    du = dist[u] + 1
+                    for w, e in arcs[u]:
+                        if visit[w] == gen or eban[e] == bg:
+                            continue
+                        visit[w] = gen
+                        dist[w] = du
+                        parent[w] = u
+                        q[tail] = w
+                        tail += 1
+                        if w == target:
+                            self._count = tail
+                            return du
+        else:
+            rows = self.rows
+            if have_v:
+                vban = self._vban
+                while head < tail:
+                    u = q[head]
+                    head += 1
+                    du = dist[u] + 1
+                    for w in rows[u]:
+                        if visit[w] == gen or vban[w] == bg:
+                            continue
+                        visit[w] = gen
+                        dist[w] = du
+                        parent[w] = u
+                        q[tail] = w
+                        tail += 1
+                        if w == target:
+                            self._count = tail
+                            return du
+            else:
+                while head < tail:
+                    u = q[head]
+                    head += 1
+                    du = dist[u] + 1
+                    for w in rows[u]:
+                        if visit[w] == gen:
+                            continue
+                        visit[w] = gen
+                        dist[w] = du
+                        parent[w] = u
+                        q[tail] = w
+                        tail += 1
+                        if w == target:
+                            self._count = tail
+                            return du
+        self._count = tail
+        return UNREACHED
+
+    def search(
+        self,
+        source: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+        target: Optional[int] = None,
+    ) -> int:
+        """Stamp a restriction and run :meth:`bfs` in one call."""
+        return self.bfs(
+            source, self.stamp_bans(banned_edges, banned_vertices), target
+        )
+
+    def bfs_dists(self, source: int, ban: Tuple[int, bool, bool]) -> None:
+        """Full restricted BFS tracking distances only (no parents, no target).
+
+        The distance-sweep workhorse behind ``distances_from``, the
+        per-fault distance tables and the batched multi-source API —
+        dropping the parent store and the target compare from the inner
+        loop is worth ~25% on full sweeps.  Results are read exactly
+        like :meth:`bfs`'s (``distances_list`` / ``last_distance``).
+        """
+        bg, have_e, have_v = ban
+        gen = self._gen + 1
+        self._gen = gen
+        if have_v and self._vban[source] == bg:
+            self._count = 0
+            return
+        visit = self._visit
+        dist = self._dist
+        q = self._queue
+        visit[source] = gen
+        dist[source] = 0
+        q[0] = source
+        head = 0
+        tail = 1
+        if have_e:
+            arcs = self.arcs
+            eban = self._eban
+            if have_v:
+                vban = self._vban
+                while head < tail:
+                    u = q[head]
+                    head += 1
+                    du = dist[u] + 1
+                    for w, e in arcs[u]:
+                        if visit[w] == gen or eban[e] == bg or vban[w] == bg:
+                            continue
+                        visit[w] = gen
+                        dist[w] = du
+                        q[tail] = w
+                        tail += 1
+            else:
+                while head < tail:
+                    u = q[head]
+                    head += 1
+                    du = dist[u] + 1
+                    for w, e in arcs[u]:
+                        if visit[w] == gen or eban[e] == bg:
+                            continue
+                        visit[w] = gen
+                        dist[w] = du
+                        q[tail] = w
+                        tail += 1
+        else:
+            rows = self.rows
+            if have_v:
+                vban = self._vban
+                while head < tail:
+                    u = q[head]
+                    head += 1
+                    du = dist[u] + 1
+                    for w in rows[u]:
+                        if visit[w] == gen or vban[w] == bg:
+                            continue
+                        visit[w] = gen
+                        dist[w] = du
+                        q[tail] = w
+                        tail += 1
+            else:
+                while head < tail:
+                    u = q[head]
+                    head += 1
+                    du = dist[u] + 1
+                    for w in rows[u]:
+                        if visit[w] == gen:
+                            continue
+                        visit[w] = gen
+                        dist[w] = du
+                        q[tail] = w
+                        tail += 1
+        self._count = tail
+
+    # ------------------------------------------------------------------
+    # reading out results
+    # ------------------------------------------------------------------
+    def collect(self) -> Tuple[List[int], List[int]]:
+        """Copy the last search's reachable set into fresh dist/parent lists.
+
+        Unreached vertices get ``-1`` in both, ``parent[source] == source``
+        — the :class:`~repro.core.canonical.SearchResult` contract.
+        """
+        n = self.n
+        dist_out = [UNREACHED] * n
+        parent_out = [UNREACHED] * n
+        dist = self._dist
+        parent = self._parent
+        q = self._queue
+        for i in range(self._count):
+            v = q[i]
+            dist_out[v] = dist[v]
+            parent_out[v] = parent[v]
+        return dist_out, parent_out
+
+    def distances_list(self) -> List[int]:
+        """The last search's full distance vector (``-1`` = unreached)."""
+        n = self.n
+        out = [UNREACHED] * n
+        dist = self._dist
+        q = self._queue
+        for i in range(self._count):
+            v = q[i]
+            out[v] = dist[v]
+        return out
+
+    def last_distance(self, v: int) -> int:
+        """Distance of ``v`` in the last search (``-1`` if unreached)."""
+        return self._dist[v] if self._visit[v] == self._gen else UNREACHED
+
+    # ------------------------------------------------------------------
+    # bidirectional point query
+    # ------------------------------------------------------------------
+    def bidir_distance(
+        self, source: int, target: int, ban: Tuple[int, bool, bool]
+    ) -> int:
+        """Exact restricted hop distance via meet-in-the-middle BFS.
+
+        Expands level-synchronized balls from both endpoints (always
+        growing the smaller frontier) and stops at the end of the first
+        expansion round that produces a cross-labeled vertex, returning
+        the minimum ``dist_s(u) + 1 + dist_t(w)`` candidate seen in that
+        round.  Completing the round is what makes this exact: if the
+        true distance ``D`` were smaller than some candidate, the true
+        shortest path's vertex at depth ``d_s + 1`` is already labeled
+        by the other side (else ``D`` would exceed the candidate), so
+        the round also generates a candidate equal to ``D``.
+
+        On expander-like graphs the two balls of radius ``~D/2`` scan
+        far fewer arcs than one ball of radius ``D`` — this is what
+        makes the distance oracle's point queries (the bulk of
+        ``Cons2FTBFS``'s feasibility checks) cheap.  Distances only; no
+        parent tracking.  Returns ``-1`` when the restriction cuts the
+        pair (or bans an endpoint).
+        """
+        bg, have_e, have_v = ban
+        vban = self._vban
+        if have_v and (vban[source] == bg or vban[target] == bg):
+            return UNREACHED
+        if source == target:
+            return 0
+        gen_s = self._gen + 1
+        self._gen = gen_s
+        self._count = 0  # scratch from `bfs` is no longer valid
+        gen_t = self._gen2 + 1
+        self._gen2 = gen_t
+        visit_s = self._visit
+        visit_t = self._visit2
+        dist_s = self._dist
+        dist_t = self._dist2
+        visit_s[source] = gen_s
+        dist_s[source] = 0
+        visit_t[target] = gen_t
+        dist_t[target] = 0
+        frontier_s = [source]
+        frontier_t = [target]
+        arcs = self.arcs
+        rows = self.rows
+        eban = self._eban
+        best = -2  # sentinel: no contact yet
+        while frontier_s and frontier_t:
+            # Grow the cheaper side; swap labels so the loop body below
+            # always "expands S".
+            if len(frontier_s) <= len(frontier_t):
+                frontier = frontier_s
+                visit_a, dist_a, gen_a = visit_s, dist_s, gen_s
+                visit_b, dist_b, gen_b = visit_t, dist_t, gen_t
+            else:
+                frontier = frontier_t
+                visit_a, dist_a, gen_a = visit_t, dist_t, gen_t
+                visit_b, dist_b, gen_b = visit_s, dist_s, gen_s
+            nxt: List[int] = []
+            push = nxt.append
+            depth = dist_a[frontier[0]] + 1
+            # The cross-label candidate is checked only at first
+            # discovery: its value ``depth + dist_b[w]`` is independent
+            # of which parent discovered ``w``, so later scans of the
+            # same round add nothing — and the already-visited test can
+            # then lead the loop (it is by far the most common exit).
+            if have_e:
+                for u in frontier:
+                    for w, e in arcs[u]:
+                        if visit_a[w] == gen_a or eban[e] == bg:
+                            continue
+                        if have_v and vban[w] == bg:
+                            continue
+                        visit_a[w] = gen_a
+                        dist_a[w] = depth
+                        if visit_b[w] == gen_b:
+                            cand = depth + dist_b[w]
+                            if best < 0 or cand < best:
+                                best = cand
+                        else:
+                            push(w)
+            else:
+                for u in frontier:
+                    for w in rows[u]:
+                        if visit_a[w] == gen_a:
+                            continue
+                        if have_v and vban[w] == bg:
+                            continue
+                        visit_a[w] = gen_a
+                        dist_a[w] = depth
+                        if visit_b[w] == gen_b:
+                            cand = depth + dist_b[w]
+                            if best < 0 or cand < best:
+                                best = cand
+                        else:
+                            push(w)
+            if best >= 0:
+                return best
+            if frontier is frontier_s:
+                frontier_s = nxt
+            else:
+                frontier_t = nxt
+        return UNREACHED

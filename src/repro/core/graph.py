@@ -16,7 +16,17 @@ The class is deliberately small and explicit; fancier graph machinery
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.errors import GraphError
 
@@ -62,7 +72,7 @@ class Graph:
     re-sorts lazily.
     """
 
-    __slots__ = ("_adj", "_edges", "_sorted")
+    __slots__ = ("_adj", "_edges", "_sorted", "_version", "_adj_view", "_csr_cache")
 
     def __init__(self, n: int = 0, edges: Iterable[Sequence[int]] = ()) -> None:
         if n < 0:
@@ -70,6 +80,9 @@ class Graph:
         self._adj: List[List[int]] = [[] for _ in range(n)]
         self._edges: Set[Edge] = set()
         self._sorted = True
+        self._version = 0
+        self._adj_view: Optional[Tuple[int, Tuple[Tuple[int, ...], ...]]] = None
+        self._csr_cache = None  # versioned CSR snapshot (see repro.core.csr)
         for e in edges:
             self.add_edge(e[0], e[1])
 
@@ -79,6 +92,7 @@ class Graph:
     def add_vertex(self) -> int:
         """Append a fresh vertex and return its id."""
         self._adj.append([])
+        self._version += 1
         return len(self._adj) - 1
 
     def add_vertices(self, count: int) -> List[int]:
@@ -100,6 +114,7 @@ class Graph:
             self._adj[u].append(v)
             self._adj[v].append(u)
             self._sorted = False
+            self._version += 1
         return e
 
     def add_path(self, vertices: Sequence[int]) -> List[Edge]:
@@ -127,6 +142,16 @@ class Graph:
         """Number of edges."""
         return len(self._edges)
 
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by ``add_edge``/``add_vertex``.
+
+        Derived snapshots (the read-only adjacency view, the CSR kernel
+        snapshot of :mod:`repro.core.csr`) are cached against this value
+        and rebuilt lazily after mutation.
+        """
+        return self._version
+
     def vertices(self) -> range:
         """Iterate vertex ids ``0..n-1``."""
         return range(len(self._adj))
@@ -146,10 +171,16 @@ class Graph:
         return 0 <= v < len(self._adj)
 
     def neighbors(self, v: int) -> List[int]:
-        """Sorted neighbor list of ``v`` (``Γ(v, G)`` in the paper)."""
+        """Sorted neighbor list of ``v`` (``Γ(v, G)`` in the paper).
+
+        Returns a defensive copy: mutating the returned list cannot
+        corrupt the graph.  Hot loops should use :meth:`adjacency` (a
+        cached immutable view) or the CSR kernel instead of calling
+        this per vertex.
+        """
         self._check_vertex(v)
         self.finalize()
-        return self._adj[v]
+        return list(self._adj[v])
 
     def degree(self, v: int) -> int:
         """``deg(v, G)``: number of edges incident to ``v``."""
@@ -160,10 +191,20 @@ class Graph:
         """``E(v, G)``: the normalized edges incident to ``v``."""
         return [normalize_edge(v, w) for w in self.neighbors(v)]
 
-    def adjacency(self) -> List[List[int]]:
-        """The raw (sorted) adjacency structure; do not mutate."""
+    def adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        """The sorted adjacency structure as an immutable, cached view.
+
+        Rows are tuples, so callers cannot corrupt the graph through the
+        returned object.  The view is cached against :attr:`version` and
+        rebuilt lazily after mutation.
+        """
+        view = self._adj_view
+        if view is not None and view[0] == self._version:
+            return view[1]
         self.finalize()
-        return self._adj
+        rows = tuple(tuple(row) for row in self._adj)
+        self._adj_view = (self._version, rows)
+        return rows
 
     # ------------------------------------------------------------------
     # derived graphs

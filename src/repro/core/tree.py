@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.canonical import UNREACHED, LexShortestPaths, SearchResult
+from repro.core.canonical import UNREACHED, SearchResult, make_engine
 from repro.core.errors import DisconnectedError, GraphError
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.paths import Path
@@ -27,8 +27,9 @@ class BFSTree:
     source:
         Root ``s``.
     engine:
-        A canonical shortest-path engine (defaults to
-        :class:`~repro.core.canonical.LexShortestPaths` on ``graph``).
+        A canonical shortest-path engine instance or registered engine
+        name (defaults to the CSR-backed lexicographic engine,
+        :class:`~repro.core.canonical.CSRLexShortestPaths`).
 
     Notes
     -----
@@ -42,7 +43,9 @@ class BFSTree:
             raise GraphError(f"invalid source {source}")
         self.graph = graph
         self.source = source
-        self.engine = engine if engine is not None else LexShortestPaths(graph)
+        if engine is None or isinstance(engine, str):
+            engine = make_engine(graph, engine) if engine else make_engine(graph)
+        self.engine = engine
         self._result: SearchResult = self.engine.search(source)
         self._children: Optional[List[List[int]]] = None
         self._pi_cache: Dict[int, Path] = {}

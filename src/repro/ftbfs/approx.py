@@ -40,15 +40,18 @@ def _universe_distance_table(
 
     Returns ``[((s, F), dist_vector), ...]`` including the empty fault
     set.  Cost: ``O(|S| · m^f)`` BFS runs — the polynomial-for-constant-f
-    preprocessing of Section 5.
+    preprocessing of Section 5.  Runs fault-major through the batched
+    multi-source kernel API, so each fault set is normalized and
+    stamped once for all ``|S|`` sources.
     """
     oracle = DistanceOracle(graph)
     table = []
     fault_sets: List[Tuple[Edge, ...]] = [()]
     fault_sets.extend(all_fault_sets(graph, max_faults))
-    for s in sources:
-        for faults in fault_sets:
-            table.append(((s, faults), oracle.distances_from(s, banned_edges=faults)))
+    for faults in fault_sets:
+        vecs = oracle.multi_source_distances(sources, banned_edges=faults)
+        for s, vec in zip(sources, vecs):
+            table.append(((s, faults), vec))
     return table
 
 

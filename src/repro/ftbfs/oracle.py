@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Tuple
 
-from repro.core.canonical import DistanceOracle, LexShortestPaths
+from repro.core.canonical import DistanceOracle, make_engine
 from repro.core.errors import GraphError
 from repro.core.graph import Edge, Graph
 from repro.core.paths import Path
@@ -26,6 +26,11 @@ class FTQueryOracle:
     ----------
     structure:
         Any :class:`~repro.ftbfs.structures.FTStructure`.
+    engine:
+        Canonical engine for route extraction: an instance, a
+        registered name, or ``None`` for the default CSR-backed engine.
+        The distance oracle follows the engine's declared family, so
+        queries run on the pooled flat-array kernel by default.
 
     Notes
     -----
@@ -35,11 +40,16 @@ class FTQueryOracle:
     error.
     """
 
-    def __init__(self, structure: FTStructure) -> None:
+    def __init__(self, structure: FTStructure, engine=None) -> None:
         self.structure = structure
         self._h = structure.subgraph()
-        self._dist = DistanceOracle(self._h)
-        self._paths = LexShortestPaths(self._h)
+        if engine is None:
+            engine = make_engine(self._h)
+        elif isinstance(engine, str):
+            engine = make_engine(self._h, engine)
+        self._paths = engine
+        oracle_cls = getattr(engine, "oracle_class", DistanceOracle)
+        self._dist = oracle_cls(self._h)
 
     @property
     def max_faults(self) -> int:

@@ -42,9 +42,10 @@ class SingleFaultDistanceOracle:
         self.graph = graph
         self.source = source
         self.tree = BFSTree(graph, source, engine)
-        self._base = DistanceOracle(graph).distances_from(source)
+        oracle_cls = getattr(self.tree.engine, "oracle_class", DistanceOracle)
+        oracle = oracle_cls(graph)
+        self._base = oracle.distances_from(source)
         self._tables: Dict[Edge, List[int]] = {}
-        oracle = DistanceOracle(graph)
         for e in sorted(self.tree.edges()):
             self._tables[e] = oracle.distances_from(source, banned_edges=(e,))
         # per-target sets of pi-edges for the O(1) relevance test

@@ -204,17 +204,22 @@ def verify_vertex_structure(
 class VertexFTQueryOracle:
     """Distance/path queries against a vertex-fault structure."""
 
-    def __init__(self, structure: FTStructure) -> None:
+    def __init__(self, structure: FTStructure, engine=None) -> None:
         if structure.stats.get("fault_model") != "vertex":
             raise GraphError(
                 "structure was not built for the vertex fault model"
             )
         self.structure = structure
         self._h = structure.subgraph()
-        self._dist = DistanceOracle(self._h)
-        from repro.core.canonical import LexShortestPaths
+        from repro.core.canonical import make_engine
 
-        self._paths = LexShortestPaths(self._h)
+        if engine is None:
+            engine = make_engine(self._h)
+        elif isinstance(engine, str):
+            engine = make_engine(self._h, engine)
+        self._paths = engine
+        oracle_cls = getattr(engine, "oracle_class", DistanceOracle)
+        self._dist = oracle_cls(self._h)
 
     def _check(self, source: int, faulty_vertices: Sequence[int]) -> None:
         if source not in self.structure.sources:

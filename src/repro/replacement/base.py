@@ -6,13 +6,20 @@ needs the same objects: the canonical BFS tree ``T0(s)``, the paths
 canonical shortest-path engine for extracting chosen paths.
 :class:`SourceContext` bundles them so the algorithm modules stay free
 of plumbing.
+
+Engine/oracle pairing: the context instantiates the oracle family the
+engine declares (``engine.oracle_class``), so the default CSR engine
+runs on the pooled flat-array kernel of :mod:`repro.core.csr` (engine,
+oracle and tree share one snapshot and scratch pool via the graph's
+CSR cache), while the legacy ``lex`` engine reproduces the pre-kernel
+system end to end for reference benchmarking.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
-from repro.core.canonical import DistanceOracle, LexShortestPaths
+from repro.core.canonical import INF, UNREACHED, DistanceOracle, make_engine
 from repro.core.errors import GraphError
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.paths import Path
@@ -29,8 +36,9 @@ class SourceContext:
     source:
         The source vertex ``s``.
     engine:
-        Canonical shortest-path engine; defaults to
-        :class:`~repro.core.canonical.LexShortestPaths`.
+        Canonical shortest-path engine: an instance, a registered
+        engine name (``"lex-csr"``, ``"lex"``, ``"perturbed"``), or
+        ``None`` for the default CSR-backed lexicographic engine.
     """
 
     def __init__(self, graph: Graph, source: int, engine=None) -> None:
@@ -39,9 +47,17 @@ class SourceContext:
         graph.finalize()
         self.graph = graph
         self.source = source
-        self.engine = engine if engine is not None else LexShortestPaths(graph)
-        self.oracle = DistanceOracle(graph)
+        if engine is None:
+            engine = make_engine(graph)
+        elif isinstance(engine, str):
+            engine = make_engine(graph, engine)
+        self.engine = engine
+        oracle_cls = getattr(engine, "oracle_class", DistanceOracle)
+        self.oracle = oracle_cls(graph)
         self.tree = BFSTree(graph, source, self.engine)
+        # Per-fault full distance vectors (G \ {e}), shared by every
+        # target below the failing edge; see fault_distances().
+        self._fault_dist: dict = {}
 
     # ------------------------------------------------------------------
     # convenience wrappers
@@ -57,6 +73,26 @@ class SourceContext:
     def distance(self, target: int, banned_edges=(), banned_vertices=()) -> float:
         """``dist(s, target, G')`` under a restriction (``inf`` if cut)."""
         return self.oracle.distance(self.source, target, banned_edges, banned_vertices)
+
+    def fault_distances(self, fault: Sequence[int]):
+        """``dist(s, ·, G \\ {e})`` as a full vector, cached per fault edge.
+
+        Every target below a failing tree edge asks for its replacement
+        distance under the same single fault; one full BFS per fault
+        amortizes those point queries across the whole subtree.
+        Entries are raw hops (``-1`` = unreachable); do not mutate.
+        """
+        e = normalize_edge(fault[0], fault[1])
+        tbl = self._fault_dist.get(e)
+        if tbl is None:
+            tbl = self.oracle.distances_from(self.source, banned_edges=(e,))
+            self._fault_dist[e] = tbl
+        return tbl
+
+    def fault_distance(self, target: int, fault: Sequence[int]) -> float:
+        """``dist(s, target, G \\ {e})`` from the cached per-fault vector."""
+        d = self.fault_distances(fault)[target]
+        return INF if d == UNREACHED else d
 
     def canonical_path(self, target: int, banned_edges=(), banned_vertices=()) -> Path:
         """``SP(s, target, G', W)`` under a restriction."""
@@ -74,8 +110,14 @@ class SourceContext:
         the divergence anchor ``u_k`` (and the target, which Eq. (3)
         always retains).
         """
-        seg = pi_path.subpath(from_vertex, to_vertex)
-        banned = set(seg.vertices)
+        # Slice the vertex sequence directly instead of materializing a
+        # Path: this runs once per feasibility probe of every binary
+        # search, and Path construction (dict index build) dominated it.
+        i = pi_path.position(from_vertex)
+        j = pi_path.position(to_vertex)
+        if i > j:
+            i, j = j, i
+        banned = set(pi_path.vertices[i : j + 1])
         banned.discard(from_vertex)
         banned.discard(pi_path.target)
         return banned

@@ -131,7 +131,9 @@ def earliest_divergence_index(
     """
     pi_path = ctx.pi(v)
     upper = min(pi_path.position(fault[0]), pi_path.position(fault[1]))
-    target_dist = ctx.distance(v, banned_edges=(fault,))
+    # One full BFS per fault serves every affected target (cached on
+    # the context) — cheaper than a point query per (target, fault).
+    target_dist = ctx.fault_distance(v, fault)
     if target_dist == INF:
         return None
 
@@ -208,6 +210,6 @@ def plain_replacement_path(
     Used by ablation baselines; returns ``None`` if disconnected.
     """
     e = normalize_edge(fault[0], fault[1])
-    if ctx.distance(v, banned_edges=(e,)) == INF:
+    if ctx.fault_distance(v, e) == INF:
         return None
     return ctx.canonical_path(v, banned_edges=(e,))

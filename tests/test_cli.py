@@ -110,6 +110,64 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestEngineSelection:
+    def test_build_with_each_engine_agrees(self, tmp_path):
+        sizes = {}
+        for engine in ("lex", "lex-csr"):
+            out = tmp_path / f"{engine}.json"
+            rc = main([
+                "build", "--graph", "er:n=16,p=0.25,seed=4",
+                "--builder", "cons2", "--engine", engine, "--out", str(out),
+            ])
+            assert rc == 0
+            sizes[engine] = sorted(load_structure(out).edges)
+        assert sizes["lex"] == sizes["lex-csr"]
+
+    def test_default_engine_is_csr(self, capsys, tmp_path):
+        out = tmp_path / "h.json"
+        rc = main([
+            "build", "--graph", "er:n=12,p=0.3,seed=1",
+            "--builder", "single", "--out", str(out),
+        ])
+        assert rc == 0
+        assert "engine=lex-csr" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_bench_all_engines(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--graph", "er:n=14,p=0.25,seed=2",
+            "--builder", "single", "--rounds", "1", "--json", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "lex-csr" in text and "vs lex" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        engines = {r["engine"] for r in payload["results"]}
+        assert {"lex", "lex-csr", "perturbed"} <= engines
+        for r in payload["results"]:
+            assert r["seconds"] > 0
+
+    def test_bench_rejects_engine_agnostic_builder(self, capsys):
+        rc = main([
+            "bench", "--graph", "er:n=10,p=0.3,seed=1",
+            "--builder", "approx", "--f", "1", "--rounds", "1",
+        ])
+        assert rc == 2
+        assert "ignores the canonical engine" in capsys.readouterr().err
+
+    def test_bench_single_engine(self, capsys):
+        rc = main([
+            "bench", "--graph", "er:n=10,p=0.3,seed=3",
+            "--builder", "cons2", "--engine", "lex-csr", "--rounds", "1",
+        ])
+        assert rc == 0
+        assert "lex-csr" in capsys.readouterr().out
+
+
 class TestExperimentCommand:
     def test_unknown_id(self, capsys):
         rc = main(["experiment", "e99"])

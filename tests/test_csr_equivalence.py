@@ -1,0 +1,207 @@
+"""Equivalence of the CSR flat-array kernel with the legacy engines.
+
+The ``lex-csr`` engine must be *bit-for-bit* interchangeable with the
+legacy ``LexShortestPaths``: identical distances, identical canonical
+parents, identical canonical paths — under arbitrary banned edge/vertex
+restrictions.  These tests drive both engines over the shared graph zoo
+and randomized fault sets (plus hypothesis-generated random graphs) and
+compare every observable.  The CSR :class:`DistanceOracle` (including
+its memo cache and the bidirectional point query) is checked against
+the legacy :class:`PythonDistanceOracle` the same way.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.canonical import (
+    INF,
+    CSRLexShortestPaths,
+    DistanceOracle,
+    LexShortestPaths,
+    PerturbedShortestPaths,
+    PythonDistanceOracle,
+    make_engine,
+    multi_source_distances,
+)
+from repro.core.errors import GraphError
+from repro.core.graph import Graph
+from repro.generators import erdos_renyi, path_graph
+
+from tests.zoo import zoo_params
+
+
+def random_restriction(graph, rng, max_edges=3, max_vertices=3, forbid=(0,)):
+    """A random banned edge/vertex set (never banning the vertices in forbid)."""
+    edges = sorted(graph.edges())
+    banned_edges = rng.sample(edges, k=min(len(edges), rng.randrange(0, max_edges + 1)))
+    candidates = [v for v in graph.vertices() if v not in set(forbid)]
+    banned_vertices = rng.sample(
+        candidates, k=min(len(candidates), rng.randrange(0, max_vertices + 1))
+    )
+    return banned_edges, banned_vertices
+
+
+@zoo_params()
+def test_full_search_equivalence_under_random_faults(name, graph):
+    """Distances, parents and paths agree on every zoo graph × fault set."""
+    legacy = LexShortestPaths(graph)
+    csr = CSRLexShortestPaths(graph)
+    rng = random.Random(hash(name) & 0xFFFF)
+    for trial in range(12):
+        be, bv = random_restriction(graph, rng)
+        res_l = legacy.search(0, banned_edges=be, banned_vertices=bv)
+        res_c = csr.search(0, banned_edges=be, banned_vertices=bv)
+        assert res_l.distances() == res_c.distances()
+        for v in graph.vertices():
+            assert res_l.parent(v) == res_c.parent(v)
+            if res_l.reached(v):
+                assert res_l.path(v) == res_c.path(v)
+
+
+@zoo_params()
+def test_canonical_path_equivalence_targeted(name, graph):
+    """Target-limited searches extract identical canonical paths."""
+    legacy = LexShortestPaths(graph)
+    csr = CSRLexShortestPaths(graph)
+    rng = random.Random(1 + (hash(name) & 0xFFFF))
+    for trial in range(8):
+        be, bv = random_restriction(graph, rng)
+        full = legacy.search(0, banned_edges=be, banned_vertices=bv)
+        for v in graph.vertices():
+            if not full.reached(v):
+                continue
+            assert csr.canonical_path(
+                0, v, banned_edges=be, banned_vertices=bv
+            ) == legacy.canonical_path(0, v, banned_edges=be, banned_vertices=bv)
+
+
+@zoo_params()
+def test_distance_oracle_equivalence(name, graph):
+    """CSR oracle (memo + bidirectional BFS) == legacy oracle."""
+    new = DistanceOracle(graph)
+    old = PythonDistanceOracle(graph)
+    rng = random.Random(2 + (hash(name) & 0xFFFF))
+    for trial in range(40):
+        be, bv = random_restriction(graph, rng, forbid=())
+        s = rng.randrange(graph.n)
+        t = rng.randrange(graph.n)
+        # point query twice: second hit exercises the memo cache
+        assert new.distance(s, t, be, bv) == old.distance(s, t, be, bv)
+        assert new.distance(s, t, be, bv) == old.distance(s, t, be, bv)
+        assert new.distances_from(s, be, bv) == old.distances_from(s, be, bv)
+
+
+@zoo_params()
+def test_multi_source_batch_matches_per_source(name, graph):
+    rng = random.Random(3 + (hash(name) & 0xFFFF))
+    be, bv = random_restriction(graph, rng, forbid=())
+    sources = list(graph.vertices())[:4]
+    batch = multi_source_distances(graph, sources, be, bv)
+    old = PythonDistanceOracle(graph)
+    for s, vec in zip(sources, batch):
+        assert vec == old.distances_from(s, be, bv)
+
+
+@zoo_params()
+def test_perturbed_csr_inner_loop_matches_lex_distances(name, graph):
+    """The CSR-rewritten Dijkstra still yields hop-exact distances."""
+    per = PerturbedShortestPaths(graph, seed=11).search(0)
+    lex = CSRLexShortestPaths(graph).search(0)
+    assert per.distances() == lex.distances()
+
+
+class TestEngineContract:
+    def test_registry_and_default(self):
+        g = path_graph(4)
+        assert isinstance(make_engine(g), CSRLexShortestPaths)
+        assert isinstance(make_engine(g, "lex-csr"), CSRLexShortestPaths)
+        assert isinstance(make_engine(g, "lex"), LexShortestPaths)
+
+    def test_banned_source_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            CSRLexShortestPaths(g).search(0, banned_vertices=[0])
+
+    def test_invalid_source_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            CSRLexShortestPaths(g).search(9)
+
+    def test_search_memo_promotion(self):
+        """A repeated restriction with a deeper target is answered correctly
+        (the cached target-stopped search must not serve it stale)."""
+        g = path_graph(8)
+        eng = CSRLexShortestPaths(g)
+        near = eng.search(0, banned_edges=[(5, 6)], target=2)
+        assert near.dist(2) == 2
+        far = eng.search(0, banned_edges=[(5, 6)], target=5)
+        assert far.dist(5) == 5
+        assert not far.reached(7)  # the ban really cuts
+        again = eng.search(0, banned_edges=[(5, 6)])
+        assert again.dist(5) == 5 and not again.reached(6)
+
+    def test_engine_sees_graph_mutation(self):
+        """Mutating the graph after engine/oracle construction must not
+        serve stale snapshots or stale memo entries (the legacy default
+        engine read adjacency live on every search)."""
+        g = path_graph(4)
+        eng = CSRLexShortestPaths(g)
+        oracle = DistanceOracle(g)
+        assert eng.search(0).dist(3) == 3
+        assert oracle.distance(0, 3) == 3
+        g.add_edge(0, 3)
+        assert eng.search(0).dist(3) == 1
+        assert oracle.distance(0, 3) == 1
+        assert oracle.distances_from(0) == [0, 1, 2, 1]
+
+    def test_memo_results_stable_across_mixed_targets(self):
+        g = erdos_renyi(24, 0.15, seed=6)
+        eng = CSRLexShortestPaths(g)
+        ref = LexShortestPaths(g)
+        rng = random.Random(9)
+        for _ in range(60):
+            be, bv = random_restriction(g, rng)
+            v = rng.randrange(1, g.n)
+            res = eng.search(0, banned_edges=be, banned_vertices=bv, target=v)
+            expect = ref.search(0, banned_edges=be, banned_vertices=bv, target=v)
+            assert res.dist(v) == expect.dist(v)
+            if expect.reached(v):
+                assert res.path(v) == expect.path(v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=18),
+    p=st.floats(min_value=0.1, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_random_graph_random_faults_equivalence(n, p, seed, fault_seed):
+    g = erdos_renyi(n, p, seed=seed)
+    rng = random.Random(fault_seed)
+    be, bv = random_restriction(g, rng)
+    res_l = LexShortestPaths(g).search(0, banned_edges=be, banned_vertices=bv)
+    res_c = CSRLexShortestPaths(g).search(0, banned_edges=be, banned_vertices=bv)
+    assert res_l.distances() == res_c.distances()
+    for v in range(g.n):
+        assert res_l.parent(v) == res_c.parent(v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=18),
+    p=st.floats(min_value=0.1, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_bidirectional_distance_equivalence(n, p, seed, fault_seed):
+    g = erdos_renyi(n, p, seed=seed)
+    rng = random.Random(fault_seed)
+    be, bv = random_restriction(g, rng, forbid=())
+    new = DistanceOracle(g)
+    old = PythonDistanceOracle(g)
+    for s in range(min(g.n, 4)):
+        for t in range(g.n):
+            assert new.distance(s, t, be, bv) == old.distance(s, t, be, bv)

@@ -148,6 +148,46 @@ class TestConnectivity:
         assert not Graph(3, [(0, 1)]).is_connected()
 
 
+class TestAdjacencyEncapsulation:
+    """Regression: external code must not be able to corrupt the graph
+    through the objects ``neighbors``/``adjacency`` hand out."""
+
+    def test_neighbors_returns_defensive_copy(self):
+        g = Graph(4, [(0, 1), (0, 2)])
+        nb = g.neighbors(0)
+        nb.append(99)
+        nb.clear()
+        assert g.neighbors(0) == [1, 2]
+        assert g.degree(0) == 2
+        # traversals still see the intact graph
+        from repro.core.canonical import bfs_distances
+
+        assert bfs_distances(g, 0) == [0, 1, 1, -1]
+
+    def test_adjacency_rows_are_immutable(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        rows = g.adjacency()
+        with pytest.raises((TypeError, AttributeError)):
+            rows[0].append(2)
+        with pytest.raises(TypeError):
+            rows[0][0] = 2
+        assert g.adjacency()[0] == (1,)
+
+    def test_adjacency_view_tracks_mutation(self):
+        g = Graph(3, [(0, 1)])
+        assert g.adjacency()[0] == (1,)
+        g.add_edge(0, 2)
+        assert g.adjacency()[0] == (1, 2)
+        v = g.add_vertex()
+        assert len(g.adjacency()) == 4
+        assert g.version >= 3
+
+    def test_incident_edges_unaffected_by_copy_mutation(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        g.neighbors(0).remove(1)
+        assert sorted(g.incident_edges(0)) == [(0, 1), (0, 2)]
+
+
 class TestHelpers:
     def test_graph_from_edges(self):
         g = graph_from_edges([(0, 1), (1, 4)])
