@@ -17,11 +17,35 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Iterable, Sequence
+from typing import Iterable, List, Sequence
 
 from repro.analysis import format_table
+from repro.core.canonical import ENGINES
+from repro.core.snapshot_cache import shared_cache
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def engine_arms() -> List[str]:
+    """The engines perf benchmarks compare, in baseline-first order.
+
+    Legacy ``lex`` is the pre-kernel baseline every speedup is measured
+    against; ``lex-csr`` is the pooled python kernel; ``lex-bulk`` (the
+    vectorized numpy kernel) joins only where numpy is installed, so
+    benchmarks degrade to a two-way comparison instead of erroring.
+    """
+    return [e for e in ("lex", "lex-csr", "lex-bulk") if e in ENGINES]
+
+
+def cold_cache() -> None:
+    """Drop the process-wide snapshot cache before a timed arm.
+
+    Engines and oracles share restricted-search memos across instances
+    (see :mod:`repro.core.snapshot_cache`); a benchmark that times
+    engine B after engine A on the same graph would otherwise measure
+    A's warm cache, not B.
+    """
+    shared_cache().clear()
 
 
 def emit(exp_id: str, title: str, body: str) -> None:

@@ -8,22 +8,34 @@ throughput from the stored structure.
 Since the flat-array traversal kernel landed, E10 additionally measures
 the **engine speedup**: the identical end-to-end workload (all exact
 builders plus a 200-query batch) is timed under the legacy ``lex``
-engine (layered dict BFS + hash-set ban tests, the pre-kernel system)
-and under the default ``lex-csr`` engine (pooled CSR kernel), across a
-ladder of graph sizes.  Results — including the speedup the kernel is
-required to sustain at the largest size — are persisted as
-machine-readable ``BENCH_E10.json`` via :func:`_common.emit_json`.
+engine (layered dict BFS + hash-set ban tests, the pre-kernel system),
+the default ``lex-csr`` engine (pooled python CSR kernel), and the
+vectorized ``lex-bulk`` engine (numpy whole-frontier kernel), across a
+ladder of graph sizes reaching n=1000.  The process-wide snapshot
+cache is cleared before every timed round so each arm is measured
+cold.  Results — including the speedups the kernels are required to
+sustain at the largest size — are persisted as machine-readable
+``BENCH_e10.json`` via :func:`_common.emit_json`; CI's bench job
+enforces the floors on every PR and the nightly run covers the full
+ladder.
 
 Environment knobs (used by CI's quick smoke run):
 
 ``REPRO_BENCH_SIZES``
-    Comma list of ``n:p`` ladder points (default ``80:0.07,120:0.05,200:0.035``).
+    Comma list of ``n:p`` ladder points
+    (default ``80:0.07,120:0.05,200:0.035,1000:0.008``).
 ``REPRO_BENCH_ROUNDS``
     Best-of rounds per arm (default 2).
 ``REPRO_BENCH_MIN_SPEEDUP``
-    Required speedup at the largest ladder size (default 2.0; CI's
-    small smoke sizes set it lower — small graphs under-display the
-    kernel's advantage).
+    Required kernel-vs-legacy speedup at the largest ladder size for
+    *both* ``lex-csr`` and ``lex-bulk`` (default 2.0; CI's small smoke
+    sizes set it lower — small graphs under-display the kernels'
+    advantage).
+``REPRO_BENCH_MIN_BULK_VS_CSR``
+    Required ``lex-bulk`` vs ``lex-csr`` ratio at the largest size
+    (default 0, i.e. informational; the nightly full-ladder run sets
+    1.0 — the bulk kernel must not fall behind the python kernel at
+    n=1000).
 """
 
 import os
@@ -41,7 +53,7 @@ from repro.ftbfs import (
 )
 from repro.generators import erdos_renyi, sample_queries
 
-from _common import emit, emit_json, table
+from _common import cold_cache, emit, emit_json, engine_arms, table
 
 N, P, SEED = 80, 0.07, 20
 
@@ -103,10 +115,12 @@ def test_e10_oracle_queries(benchmark, shared_graph):
 
 
 # ----------------------------------------------------------------------
-# engine comparison: legacy lex vs the default CSR kernel
+# engine comparison: legacy lex vs the CSR kernel vs the numpy bulk kernel
 # ----------------------------------------------------------------------
 def _ladder():
-    spec = os.environ.get("REPRO_BENCH_SIZES", "80:0.07,120:0.05,200:0.035")
+    spec = os.environ.get(
+        "REPRO_BENCH_SIZES", "80:0.07,120:0.05,200:0.035,1000:0.008"
+    )
     out = []
     for item in spec.split(","):
         n, _, p = item.partition(":")
@@ -129,6 +143,9 @@ def _suite(graph, queries, engine):
 def test_e10_engine_speedup(benchmark):
     rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
     min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+    min_bulk_vs_csr = float(os.environ.get("REPRO_BENCH_MIN_BULK_VS_CSR", "0"))
+    arms = engine_arms()  # ["lex", "lex-csr", "lex-bulk"] when numpy present
+    kernels = [e for e in arms if e != "lex"]
     ladder = _ladder()
     rows = []
     entries = []
@@ -137,23 +154,22 @@ def test_e10_engine_speedup(benchmark):
         queries = sample_queries(g, 2, 200, seed=2)
         times = {}
         sizes = {}
-        for engine in ("lex", "lex-csr"):
+        for engine in arms:
             best = float("inf")
             for _ in range(rounds):
+                cold_cache()  # no arm may ride another's warm memo
                 t0 = time.perf_counter()
                 h = _suite(g, queries, engine)
                 best = min(best, time.perf_counter() - t0)
             times[engine] = best
             sizes[engine] = h.size
-        assert sizes["lex"] == sizes["lex-csr"]  # engines must agree exactly
-        speedup = times["lex"] / times["lex-csr"]
+        # All engines must produce the identical structure, exactly.
+        assert len(set(sizes.values())) == 1, sizes
+        speedups = {e: times["lex"] / times[e] for e in kernels}
         rows.append(
-            [
-                f"n={n}, m={g.m}",
-                f"{1000.0 * times['lex']:.1f}",
-                f"{1000.0 * times['lex-csr']:.1f}",
-                f"{speedup:.2f}x",
-            ]
+            [f"n={n}, m={g.m}"]
+            + [f"{1000.0 * times[e]:.1f}" for e in arms]
+            + [f"{speedups[e]:.2f}x" for e in kernels]
         )
         entries.append(
             {
@@ -161,36 +177,55 @@ def test_e10_engine_speedup(benchmark):
                 "p": p,
                 "m": g.m,
                 "structure_size": sizes["lex-csr"],
+                "seconds": {e: times[e] for e in arms},
+                "speedup_vs_legacy": speedups,
+                "bulk_vs_csr": (
+                    times["lex-csr"] / times["lex-bulk"]
+                    if "lex-bulk" in times
+                    else None
+                ),
+                # kept for dashboards diffing against pre-bulk records
                 "legacy_lex_seconds": times["lex"],
                 "lex_csr_seconds": times["lex-csr"],
-                "speedup": speedup,
+                "speedup": speedups["lex-csr"],
             }
         )
     body = table(
-        ["graph", "lex (ms)", "lex-csr (ms)", "speedup"], rows
+        ["graph"]
+        + [f"{e} (ms)" for e in arms]
+        + [f"{e} speedup" for e in kernels],
+        rows,
     )
     body += (
         "\nWorkload: single + cons2 + simple-dual + generic(f=2) builds "
         "\nplus 200 mixed-fault oracle queries, best of "
-        f"{rounds} rounds per engine."
+        f"{rounds} rounds per engine, snapshot cache cleared per round."
     )
-    emit("E10-engines", "flat-array kernel vs legacy engine", body)
+    emit("E10-engines", "kernel engines vs legacy engine", body)
     largest = entries[-1]
     emit_json(
         "e10",
         {
             "experiment": "e10_runtime_engine_comparison",
             "workload": "single+cons2+simple_dual+generic_f2+200 queries",
+            "engines": arms,
             "rounds": rounds,
             "ladder": entries,
             "largest": largest,
             "required_min_speedup": min_speedup,
+            "required_min_bulk_vs_csr": min_bulk_vs_csr,
         },
     )
-    assert largest["speedup"] >= min_speedup, (
-        f"lex-csr speedup {largest['speedup']:.2f}x at n={largest['n']} "
-        f"fell below the required {min_speedup}x"
-    )
+    for e in kernels:
+        assert largest["speedup_vs_legacy"][e] >= min_speedup, (
+            f"{e} speedup {largest['speedup_vs_legacy'][e]:.2f}x at "
+            f"n={largest['n']} fell below the required {min_speedup}x"
+        )
+    if min_bulk_vs_csr and largest["bulk_vs_csr"] is not None:
+        assert largest["bulk_vs_csr"] >= min_bulk_vs_csr, (
+            f"lex-bulk fell to {largest['bulk_vs_csr']:.2f}x of lex-csr at "
+            f"n={largest['n']} (required {min_bulk_vs_csr}x)"
+        )
     g_small = erdos_renyi(ladder[0][0], ladder[0][1], seed=SEED)
     q_small = sample_queries(g_small, 2, 50, seed=3)
     benchmark.pedantic(

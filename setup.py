@@ -1,12 +1,47 @@
-"""Setuptools shim.
+"""Setuptools packaging for the conf_podc_Parter15 reproduction.
 
-Kept alongside ``pyproject.toml`` so the package installs in offline
-environments that lack the ``wheel`` package (where PEP 517 editable
-builds fail):
+A plain ``setup.py`` (no PEP 517 build isolation required) so the
+package installs in offline environments that lack the ``wheel``
+package:
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    pip install -e .[test] --no-build-isolation
+
+Dependency policy:
+
+* ``numpy`` is the only install requirement — it backs the vectorized
+  bulk kernel (:mod:`repro.core.bulk`) and the ``lex-bulk`` engine.
+  The library degrades gracefully without it (the pure-python kernels
+  keep working and ``lex-bulk`` simply is not registered), but an
+  installed package should have its fast path available.
+* The ``test`` extra carries everything the tier-1 suite and the
+  benchmark harness need; CI installs via ``pip install -e .[test]``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-parter15",
+    version="1.0.0",
+    description=(
+        "Fault-tolerant BFS structures (Parter, PODC 2015): CSR + numpy "
+        "bulk traversal kernels, FT-BFS builders, verification and "
+        "benchmarks"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7",
+            "pytest-benchmark",
+            "hypothesis",
+            "networkx",
+        ],
+        "lint": [
+            "ruff",
+        ],
+    },
+)

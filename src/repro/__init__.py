@@ -16,6 +16,16 @@ Quick start::
     verify_structure(h)           # exhaustive check over all fault pairs
     print(h.size, "of", g.m, "edges retained")
 
+Every restricted search funnels through one traversal substrate with
+three interchangeable canonical engines (pick with ``engine=`` or the
+CLI's ``--engine``): ``lex-csr`` (default; pooled flat-array python
+kernel), ``lex-bulk`` (vectorized numpy bulk kernel — whole BFS
+frontiers as int32 batches, bit-identical results, fastest on large
+graphs; present when numpy is installed), and ``lex`` (legacy layered
+reference).  Repeated feasibility checks are memoized in a
+process-wide snapshot cache (:mod:`repro.core.snapshot_cache`) shared
+across builders and oracles and invalidated by graph mutation.
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
 for the reproduced tables/figures.
 """
@@ -35,7 +45,10 @@ from repro.analysis import (
 )
 from repro.core import (
     DEFAULT_ENGINE,
+    HAVE_BULK,
     BFSTree,
+    BulkDistanceOracle,
+    BulkLexShortestPaths,
     CSRGraph,
     CSRLexShortestPaths,
     DistanceOracle,
@@ -57,6 +70,7 @@ from repro.core import (
     multi_source_distances,
     normalize_edge,
     normalize_edges,
+    shared_cache,
 )
 from repro.core.io import (
     load_graph,
@@ -120,10 +134,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BFSTree",
+    "BulkDistanceOracle",
+    "BulkLexShortestPaths",
     "CSRGraph",
     "CSRLexShortestPaths",
     "DEFAULT_ENGINE",
     "DistanceOracle",
+    "HAVE_BULK",
     "DualFaultDistanceOracle",
     "Edge",
     "FTQueryOracle",
@@ -193,6 +210,7 @@ __all__ = [
     "prune_to_minimal",
     "save_graph",
     "save_structure",
+    "shared_cache",
     "sparsify_by_stretch",
     "stretch_profile",
     "structure_stretch",

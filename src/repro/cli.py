@@ -12,9 +12,14 @@ Examples::
                            --engine all --rounds 3
 
 Engines (``--engine``): ``lex-csr`` (default; flat-array CSR kernel),
-``lex`` (legacy layered reference), ``perturbed`` (paper-literal
-randomized weights).  ``bench --engine all`` times every engine on the
-same workload and reports speedups against the legacy ``lex`` engine.
+``lex-bulk`` (vectorized numpy bulk kernel — whole-frontier expansion,
+bit-identical results, fastest on large graphs; available when numpy
+is installed), ``lex`` (legacy layered reference), ``perturbed``
+(paper-literal randomized weights).  ``bench --engine all`` times every
+engine on the same workload and reports speedups against the legacy
+``lex`` engine; the process-wide snapshot cache (which lets builders
+share restricted-search results) is cleared before every timed round so
+no engine is measured against another's warm cache.
 
 Graph specifications (``--graph``)::
 
@@ -202,6 +207,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import json
     import time
 
+    from repro.core.snapshot_cache import shared_cache
+
     graph = parse_graph_spec(args.graph)
     builder = BUILDERS[args.builder]
     if args.builder in ENGINE_AGNOSTIC_BUILDERS:
@@ -220,6 +227,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         best = float("inf")
         size = None
         for _ in range(rounds):
+            # Cold-cache timing: without this, later engines would be
+            # served from earlier engines' shared snapshot-cache entries
+            # and the comparison would measure cache hits, not engines.
+            shared_cache().clear()
             t0 = time.perf_counter()
             structure = builder(graph, args.source, args.f, engine)
             best = min(best, time.perf_counter() - t0)

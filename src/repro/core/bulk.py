@@ -1,0 +1,426 @@
+"""Vectorized numpy bulk kernel: whole-frontier restricted BFS on CSR arrays.
+
+The pooled python kernel of :mod:`repro.core.csr` removed per-call
+allocation from restricted searches but still pays CPython's per-arc
+interpretation cost: one ``for`` iteration, one stamp compare and one
+list store per scanned arc.  This module trades that loop for
+*level-synchronous bulk expansion*: each BFS level is processed as one
+batch of :mod:`numpy` array operations over the snapshot's flat
+``indptr``/``nbr``/``arc_eid`` storage, so the per-arc cost drops to a
+handful of SIMD-friendly gathers and boolean masks regardless of how
+many arcs the frontier touches.
+
+**Bulk expansion.**  For a frontier ``f`` (an ``int32`` vertex array in
+lex-rank order) the kernel gathers every outgoing arc slot in one shot::
+
+    starts = indptr[f]; counts = indptr[f + 1] - starts
+    pos    = arange(total) + repeat(starts - (cumsum(counts) - counts), counts)
+    targets, eids = nbr[pos], arc_eid[pos]
+
+bans and already-visited vertices are removed with boolean masks over
+the whole batch (``visit[targets] != gen``, ``eban[eids] != ban_gen``,
+``vban[targets] != ban_gen``) — the same generation-stamp discipline as
+the python kernel, stamped per fault set in O(|F|) scatter stores.
+
+**Bit-identical lex tie-breaking.**  The python kernel's FIFO BFS over
+sorted adjacency keeps the *first discoverer* as the canonical parent,
+which is exactly the lex-minimal assignment (see :mod:`repro.core.csr`).
+The bulk kernel reproduces it exactly: the surviving ``(arc, target)``
+batch is already ordered by ``(frontier position, adjacency rank)`` —
+i.e. by lex rank of the discovering path — so a *stable first-occurrence
+reduction* over the batch selects, for every newly discovered vertex,
+the same minimum-rank discoverer the FIFO queue would.  The reduction is
+a sort-free scatter (reverse-order position stores, so the earliest
+claim wins)::
+
+    firstpos[targets[::-1]] = arange(k)[::-1]   # first claim survives
+    is_first = firstpos[targets] == arange(k)   # stable argmin per target
+
+and the next frontier ``targets[is_first]`` comes out in discovery
+order, which is the next level's lex-rank order.  Distances and parents
+are therefore bit-identical to both ``LexShortestPaths`` and
+``CSRLexShortestPaths`` (asserted by ``tests/test_csr_equivalence.py``).
+
+**Hybrid dispatch.**  Vectorization has per-level fixed costs (a dozen
+small array ops), so on small graphs the python kernel wins.  Below
+``REPRO_BULK_MIN_N`` vertices (default ``512``, the empirical
+crossover) the kernel transparently delegates every call to the shared
+python kernel of the same snapshot — results are identical either way,
+so the switch is purely a performance decision.
+
+The kernel is cached per CSR snapshot via :func:`bulk_of` (and thereby
+per graph version), so the ``lex-bulk`` engine, the bulk distance
+oracle and the builders above them share one set of scratch arrays, the
+same sharing discipline as :func:`repro.core.csr.csr_of`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.csr import CSRGraph, UNREACHED, csr_of
+from repro.core.graph import Graph
+
+#: Below this vertex count the python kernel is faster and the bulk
+#: kernel delegates to it wholesale (override: ``REPRO_BULK_MIN_N``).
+DEFAULT_MIN_BULK_N = 512
+
+
+def _min_bulk_n() -> int:
+    try:
+        return int(os.environ.get("REPRO_BULK_MIN_N", DEFAULT_MIN_BULK_N))
+    except ValueError:
+        return DEFAULT_MIN_BULK_N
+
+
+def bulk_of(graph: Graph) -> "BulkCSRKernel":
+    """The (cached) bulk kernel of ``graph``'s current CSR snapshot.
+
+    Cached on the snapshot itself, so graph mutation (which invalidates
+    the snapshot via :func:`repro.core.csr.csr_of`) invalidates the bulk
+    kernel with it, and every consumer of one graph shares one kernel.
+    """
+    csr = csr_of(graph)
+    kernel = csr._bulk
+    if kernel is None:
+        kernel = BulkCSRKernel(csr)
+        csr._bulk = kernel
+    return kernel
+
+
+class BulkCSRKernel:
+    """Level-synchronous numpy BFS over a CSR snapshot's flat arrays.
+
+    Exposes the same restricted-search surface as the python kernel —
+    :meth:`stamp_bans` / :meth:`stamp_edge_ids` / :meth:`source_banned`,
+    :meth:`bfs` / :meth:`bfs_dists` / :meth:`multi_source_dists`, and
+    the :meth:`collect` / :meth:`distances_list` / :meth:`last_distance`
+    readout — so engines and oracles can hold either kernel behind one
+    call shape.  See the module docstring for the expansion algorithm
+    and the bit-identity argument.
+    """
+
+    #: A level whose frontier owns at most this many arcs is expanded by
+    #: a scalar python loop over the snapshot's iteration views instead
+    #: of the vectorized pipeline — numpy's per-call dispatch costs more
+    #: than scanning a handful of arcs (source levels and the sparse
+    #: tails of targeted searches live here).  Semantics are identical:
+    #: the loop is exactly the FIFO first-discoverer scan.
+    SMALL_LEVEL_ARCS = 24
+
+    __slots__ = (
+        "csr",
+        "n",
+        "m",
+        "vectorized",
+        "_indptr",
+        "_indptr1",
+        "_ipl",
+        "_nbr",
+        "_arc_eid",
+        "_arc_src",
+        "_arange",
+        "_visit",
+        "_dist",
+        "_parent",
+        "_firstpos",
+        "_vban",
+        "_eban",
+        "_gen",
+        "_ban_gen",
+    )
+
+    def __init__(self, csr: CSRGraph, min_bulk_n: Optional[int] = None) -> None:
+        self.csr = csr
+        n = csr.n
+        self.n = n
+        self.m = csr.m
+        threshold = _min_bulk_n() if min_bulk_n is None else min_bulk_n
+        self.vectorized = n >= threshold
+        if not self.vectorized:
+            return
+        # Flat topology as numpy views/copies.  ``indptr`` stays int64
+        # (it indexes arc slots); vertices, edge ids and the per-arc
+        # source table are int32 frontier currency.
+        self._indptr = np.asarray(csr.indptr, dtype=np.int64)
+        self._indptr1 = self._indptr[1:]  # ends view: take() without +1
+        self._ipl = csr.indptr  # array('q'): cheap python-int scalar reads
+        self._nbr = np.asarray(csr.nbr, dtype=np.int32)
+        self._arc_eid = np.asarray(csr.arc_eid, dtype=np.int32)
+        # arc_src[p] = the vertex owning arc slot p; lets parent
+        # extraction skip a repeat() over the frontier.
+        self._arc_src = np.repeat(
+            np.arange(n, dtype=np.int32), np.diff(self._indptr)
+        )
+        self._arange = np.arange(max(len(self._nbr), n, 1), dtype=np.int64)
+        # Stamped scratch, one allocation per snapshot (python-kernel
+        # pooling invariants 1-3 apply unchanged).
+        self._visit = np.full(n, UNREACHED, dtype=np.int64)
+        self._dist = np.zeros(n, dtype=np.int32)
+        self._parent = np.zeros(n, dtype=np.int32)
+        self._firstpos = np.zeros(n, dtype=np.int64)
+        self._vban = np.full(n, UNREACHED, dtype=np.int64)
+        self._eban = np.full(max(self.m, 1), UNREACHED, dtype=np.int64)
+        self._gen = 0
+        self._ban_gen = 0
+
+    # ------------------------------------------------------------------
+    # restriction stamping (same contract as CSRGraph)
+    # ------------------------------------------------------------------
+    def resolve_edge_ids(self, banned_edges: Iterable[Sequence[int]]) -> List[int]:
+        """Dense edge ids for edge-like pairs (unknown edges dropped)."""
+        return self.csr.resolve_edge_ids(banned_edges)
+
+    def stamp_bans(
+        self,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> Tuple[int, bool, bool]:
+        """Stamp a restriction; returns ``(ban_gen, any_edges, any_vertices)``."""
+        return self.stamp_edge_ids(
+            self.csr.resolve_edge_ids(banned_edges), banned_vertices
+        )
+
+    def stamp_edge_ids(
+        self, edge_ids: Iterable[int], vertices: Iterable[int]
+    ) -> Tuple[int, bool, bool]:
+        """Like :meth:`stamp_bans` but from pre-resolved edge ids."""
+        if not self.vectorized:
+            return self.csr.stamp_edge_ids(edge_ids, vertices)
+        bg = self._ban_gen + 1
+        self._ban_gen = bg
+        eids = edge_ids if isinstance(edge_ids, list) else list(edge_ids)
+        verts = vertices if isinstance(vertices, list) else list(vertices)
+        # Fault sets are almost always tiny; scalar stores beat a fancy
+        # scatter's set-up cost there.
+        if eids:
+            if len(eids) <= 8:
+                eban = self._eban
+                for i in eids:
+                    eban[i] = bg
+            else:
+                self._eban[eids] = bg
+        if verts:
+            if len(verts) <= 8:
+                vban = self._vban
+                for v in verts:
+                    vban[v] = bg
+            else:
+                self._vban[verts] = bg
+        return bg, bool(eids), bool(verts)
+
+    def source_banned(self, source: int, ban: Tuple[int, bool, bool]) -> bool:
+        """True iff ``source`` is vertex-banned under the given stamp."""
+        if not self.vectorized:
+            return self.csr.source_banned(source, ban)
+        bg, _, have_v = ban
+        return have_v and self._vban[source] == bg
+
+    # ------------------------------------------------------------------
+    # the bulk kernel
+    # ------------------------------------------------------------------
+    def _expand_small(
+        self, frontier_list: List[int], ban: Tuple[int, bool, bool],
+        level: int, parents: bool,
+    ) -> np.ndarray:
+        """Scalar expansion of a tiny level (see ``SMALL_LEVEL_ARCS``).
+
+        Exactly the FIFO first-discoverer scan of the python kernel,
+        writing into the numpy scratch — byte-identical outcome to the
+        vectorized path, chosen purely on cost.
+        """
+        bg, have_e, have_v = ban
+        gen = self._gen
+        visit = self._visit
+        dist = self._dist
+        parent = self._parent
+        vban = self._vban
+        eban = self._eban
+        arcs = self.csr.arcs
+        nxt: List[int] = []
+        push = nxt.append
+        for u in frontier_list:
+            for w, e in arcs[u]:
+                if visit[w] == gen:
+                    continue
+                if have_e and eban[e] == bg:
+                    continue
+                if have_v and vban[w] == bg:
+                    continue
+                visit[w] = gen
+                dist[w] = level
+                if parents:
+                    parent[w] = u
+                push(w)
+        return np.array(nxt, dtype=np.int32)
+
+    def _expand(
+        self, frontier: np.ndarray, ban: Tuple[int, bool, bool], level: int,
+        parents: bool,
+    ) -> np.ndarray:
+        """One bulk BFS level: all arcs out of ``frontier`` in one batch.
+
+        Returns the next frontier in discovery (= lex-rank) order;
+        stamps ``_visit``/``_dist`` (and ``_parent`` when ``parents``)
+        for the discovered vertices.  Tiny levels take the scalar path
+        (`_expand_small`); everything below leans on ndarray *methods*
+        (``take``/``compress``/in-place arithmetic) because the generic
+        :mod:`numpy` wrappers cost real dispatch time at this call rate.
+        """
+        bg, have_e, have_v = ban
+        small = self.SMALL_LEVEL_ARCS
+        if frontier.size <= small:
+            fl = frontier.tolist()
+            ipl = self._ipl
+            total = 0
+            for u in fl:
+                total += ipl[u + 1] - ipl[u]
+            if total <= small:
+                return self._expand_small(fl, ban, level, parents)
+        indptr = self._indptr
+        starts = indptr.take(frontier)
+        counts = self._indptr1.take(frontier)
+        counts -= starts
+        total = int(counts.sum())
+        if total == 0:
+            return frontier[:0]
+        # pos = arange(total) + repeat(starts - (cumsum(counts) - counts))
+        cum = counts.cumsum()
+        np.subtract(starts, cum, out=starts)
+        starts += counts
+        pos = starts.repeat(counts)
+        pos += self._arange[:total]
+        targets = self._nbr.take(pos)
+        gen = self._gen
+        keep = self._visit.take(targets) != gen
+        if have_e:
+            keep &= self._eban.take(self._arc_eid.take(pos)) != bg
+        if have_v:
+            keep &= self._vban.take(targets) != bg
+        tsel = targets.compress(keep)
+        k = tsel.size
+        if k == 0:
+            return frontier[:0]
+        # Stable first-occurrence reduction (see module docstring): the
+        # reverse-order scatter makes the earliest claim per vertex win,
+        # selecting the lex-minimal discoverer without a sort.
+        idx = self._arange[:k]
+        firstpos = self._firstpos
+        firstpos[tsel[::-1]] = idx[::-1]
+        is_first = firstpos.take(tsel) == idx
+        new = tsel.compress(is_first)
+        self._visit[new] = gen
+        self._dist[new] = level
+        if parents:
+            psel = pos.compress(keep)
+            self._parent[new] = self._arc_src.take(psel.compress(is_first))
+        return new
+
+    def bfs(
+        self,
+        source: int,
+        ban: Tuple[int, bool, bool],
+        target: Optional[int] = None,
+    ) -> int:
+        """Bulk restricted BFS from ``source`` under a stamped restriction.
+
+        Same contract as :meth:`repro.core.csr.CSRGraph.bfs`: returns
+        the hop distance to ``target`` (``-1`` when ``target`` is
+        ``None`` or unreachable) and leaves distances/parents readable
+        via :meth:`collect` until the next search.  With a target the
+        search stops at the end of the level that discovered it (first
+        discovery is final in BFS, so everything stamped is exact).
+        """
+        if not self.vectorized:
+            return self.csr.bfs(source, ban, target)
+        bg, _, have_v = ban
+        gen = self._gen + 1
+        self._gen = gen
+        if have_v and self._vban[source] == bg:
+            return UNREACHED
+        self._visit[source] = gen
+        self._dist[source] = 0
+        self._parent[source] = source
+        if target == source:
+            return 0
+        frontier = np.array([source], dtype=np.int32)
+        level = 0
+        while frontier.size:
+            level += 1
+            frontier = self._expand(frontier, ban, level, parents=True)
+            if target is not None and self._visit[target] == gen:
+                return level
+        return UNREACHED
+
+    def bfs_dists(self, source: int, ban: Tuple[int, bool, bool]) -> None:
+        """Bulk restricted distance sweep (no parents, no target).
+
+        The distance-sweep workhorse mirroring
+        :meth:`repro.core.csr.CSRGraph.bfs_dists`; results are read with
+        :meth:`distances_list` / :meth:`last_distance`.
+        """
+        if not self.vectorized:
+            self.csr.bfs_dists(source, ban)
+            return
+        bg, _, have_v = ban
+        gen = self._gen + 1
+        self._gen = gen
+        if have_v and self._vban[source] == bg:
+            return
+        self._visit[source] = gen
+        self._dist[source] = 0
+        frontier = np.array([source], dtype=np.int32)
+        level = 0
+        while frontier.size:
+            level += 1
+            frontier = self._expand(frontier, ban, level, parents=False)
+
+    def multi_source_dists(
+        self, sources: Sequence[int], ban: Tuple[int, bool, bool]
+    ) -> List[List[int]]:
+        """Distance vectors from each source under one shared stamp.
+
+        The batched FT-MBFS entry point: the restriction is stamped once
+        by the caller and reused across all per-source sweeps (pooling
+        invariant 2), exactly like the python kernel's batch path.
+        """
+        out: List[List[int]] = []
+        for s in sources:
+            self.bfs_dists(s, ban)
+            out.append(self.distances_list())
+        return out
+
+    # ------------------------------------------------------------------
+    # reading out results
+    # ------------------------------------------------------------------
+    def collect(self) -> Tuple[List[int], List[int]]:
+        """Copy the last search's reachable set into fresh dist/parent lists.
+
+        Same contract as :meth:`repro.core.csr.CSRGraph.collect`
+        (``-1`` for unreached in both vectors) but vectorized: one
+        masked select per vector instead of a python loop over the
+        reached set — on large graphs this alone repays the numpy
+        dependency.
+        """
+        if not self.vectorized:
+            return self.csr.collect()
+        live = self._visit == self._gen
+        dist_out = np.where(live, self._dist, UNREACHED).tolist()
+        parent_out = np.where(live, self._parent, UNREACHED).tolist()
+        return dist_out, parent_out
+
+    def distances_list(self) -> List[int]:
+        """The last search's full distance vector (``-1`` = unreached)."""
+        if not self.vectorized:
+            return self.csr.distances_list()
+        live = self._visit == self._gen
+        return np.where(live, self._dist, UNREACHED).tolist()
+
+    def last_distance(self, v: int) -> int:
+        """Distance of ``v`` in the last search (``-1`` if unreached)."""
+        if not self.vectorized:
+            return self.csr.last_distance(v)
+        return int(self._dist[v]) if self._visit[v] == self._gen else UNREACHED

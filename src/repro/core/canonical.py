@@ -42,6 +42,19 @@ that abstraction with three interchangeable engines:
     probability ``≈ 2^-100``.  Its inner loop also runs on the CSR
     kernel (per-edge-id weight table, stamped bans).
 
+``BulkLexShortestPaths`` (``"lex-bulk"``, requires :mod:`numpy`)
+    The same lex-minimal assignment computed by the vectorized bulk
+    kernel of :mod:`repro.core.bulk`: whole BFS frontiers are expanded
+    as int32 numpy batches (vectorized neighbor gathers over the CSR
+    arrays, boolean ban masks, stable first-occurrence parent
+    reduction), which is bit-for-bit equivalent to both lex engines —
+    asserted by ``tests/test_csr_equivalence.py`` — and overtakes the
+    python kernel once graphs outgrow the per-level vectorization
+    overhead (n ≳ 500).  On small graphs the bulk kernel transparently
+    delegates to the python kernel, so the engine is never worse than
+    ``lex-csr`` by more than a constant.  Registered only when numpy is
+    importable.
+
 Fault simulation is expressed with *banned* vertex/edge sets interpreted
 in the traversal inner loop — restricted graphs like ``G \\ F``,
 ``G(u_k, u_l)`` (Eq. 3) and ``G_D(w_ℓ)`` (Eq. 4) never require copying
@@ -49,10 +62,20 @@ the graph.
 
 The module also provides :class:`DistanceOracle` (CSR-backed, with a
 keyed memo cache for the repeated ``(source, target, F)`` feasibility
-checks that dominate Algorithm ``Cons2FTBFS``), the batched
+checks that dominate Algorithm ``Cons2FTBFS``), its bulk-kernel
+sibling :class:`BulkDistanceOracle`, the batched
 :meth:`DistanceOracle.multi_source_distances` API for FT-MBFS
 workloads, and the one-shot helpers :func:`bfs_distances` /
 :func:`bfs_distance`.
+
+Memoization of search results and point/vector distance queries lives
+in the process-wide :mod:`repro.core.snapshot_cache`: entries are keyed
+on the graph's CSR snapshot (hence its mutation version) plus the
+frozen restriction, so repeated feasibility checks are shared across
+engine and oracle *instances* — two builders probing the same graph
+answer each other's queries — and invalidate automatically when the
+graph mutates.  Namespaces are segregated per engine/oracle family so
+the equivalence tests always compare independently computed results.
 """
 
 from __future__ import annotations
@@ -66,6 +89,16 @@ from repro.core.csr import CSRGraph, csr_of
 from repro.core.errors import DisconnectedError, GraphError
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.paths import Path, path_from_parents
+from repro.core.snapshot_cache import SnapshotCache, shared_cache
+
+try:  # The bulk kernel needs numpy; everything else must work without.
+    from repro.core.bulk import bulk_of
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    bulk_of = None
+
+#: True when the vectorized bulk kernel (and the ``lex-bulk`` engine /
+#: :class:`BulkDistanceOracle`) are available in this interpreter.
+HAVE_BULK = bulk_of is not None
 
 UNREACHED = -1
 #: Distance value reported for unreachable vertices by convenience APIs.
@@ -151,29 +184,42 @@ class CSRLexShortestPaths:
 
     name = "lex-csr"
 
-    def __init__(self, graph: Graph, cache_size: int = 8_192) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        cache_size: int = 8_192,
+        cache: Optional[SnapshotCache] = None,
+    ) -> None:
         self.graph = graph
         self._csr = csr_of(graph)
         # Keyed memo for repeated (source, banned) searches: builders
         # like Cons2FTBFS and the generic enumerators re-request the
-        # same restriction for many targets.  Entries are (result,
-        # complete); a target-stopped search is cached as incomplete and
-        # only serves vertices it actually reached — a repeat that needs
-        # more is promoted to a (cached) full search.
-        self._cache: Dict[tuple, Tuple[SearchResult, bool]] = {}
+        # same restriction for many targets.  The memo lives in the
+        # process-wide snapshot cache (keyed on the snapshot, so graph
+        # mutation invalidates it and engine instances on one graph
+        # share it).  Entries are (result, complete); a target-stopped
+        # search is cached as incomplete and only serves vertices it
+        # actually reached — a repeat that needs more is promoted to a
+        # (cached) full search.
+        self._cache = shared_cache() if cache is None else cache
         self._cache_size = cache_size
+        # Snapshot-cache namespace; per engine family, so the
+        # equivalence tests never compare an engine against another
+        # engine's cached results.
+        self._search_ns = "search:" + self.name
 
     def _snapshot(self) -> CSRGraph:
-        """The live CSR snapshot; rebuilt (and memo dropped) after mutation.
+        """The live CSR snapshot; rebuilt after mutation.
 
         The legacy engine read ``adjacency()`` on every search, so
         mutating the graph between searches must keep working here too.
+        Memo entries need no explicit flush: they are keyed on the
+        snapshot object, and a mutated graph gets a fresh snapshot.
         """
         csr = self._csr
         if csr.version != self.graph.version:
             csr = csr_of(self.graph)
             self._csr = csr
-            self._cache.clear()
         return csr
 
     def _restriction_key(self, csr, source, banned_edges, banned_vertices):
@@ -220,22 +266,21 @@ class CSRLexShortestPaths:
             csr, source, banned_edges, banned_vertices
         )
         cache = self._cache
-        entry = cache.get(key)
+        ns = self._search_ns
+        entry = cache.get(csr, ns, key)
         if entry is not None:
             res, complete = entry
             if complete or (target is not None and res.reached(target)):
                 return res
             # Second request needing deeper coverage: promote to full.
             res = self._run(csr, source, eids, verts, None)
-            cache[key] = (res, True)
+            cache.put(csr, ns, key, (res, True), limit=self._cache_size)
             return res
         res = self._run(csr, source, eids, verts, target)
         # A target search that exhausted the graph (target unreachable)
         # is a complete search.
         complete = target is None or not res.reached(target)
-        if len(cache) >= self._cache_size:
-            cache.clear()
-        cache[key] = (res, complete)
+        cache.put(csr, ns, key, (res, complete), limit=self._cache_size)
         return res
 
     def canonical_path(
@@ -248,6 +293,51 @@ class CSRLexShortestPaths:
         """``SP(source, target, G', W)``: the unique canonical path."""
         res = self.search(source, banned_edges, banned_vertices, target=target)
         return res.path(target)
+
+
+class BulkLexShortestPaths(CSRLexShortestPaths):
+    """Lexicographic canonical shortest paths on the numpy bulk kernel.
+
+    Identical observable behavior to :class:`CSRLexShortestPaths` — the
+    bulk kernel's level-synchronous expansion with stable
+    first-occurrence parent reduction produces the same lex-minimal
+    tree bit for bit (see :mod:`repro.core.bulk`) — but whole frontiers
+    are processed as int32 numpy batches, so large graphs pay a few
+    array operations per BFS level instead of interpreted python per
+    arc.  Below the vectorization crossover the kernel delegates to the
+    shared python kernel, making this engine safe to select
+    unconditionally when numpy is present.
+    """
+
+    name = "lex-bulk"
+
+    def __init__(
+        self,
+        graph: Graph,
+        cache_size: int = 8_192,
+        cache: Optional[SnapshotCache] = None,
+    ) -> None:
+        if not HAVE_BULK:
+            raise GraphError(
+                "the lex-bulk engine requires numpy, which is not installed"
+            )
+        super().__init__(graph, cache_size, cache)
+        self._kernel = bulk_of(graph)
+
+    def _snapshot(self) -> CSRGraph:
+        csr = super()._snapshot()
+        if self._kernel.csr is not csr:  # graph mutated: fresh kernel
+            self._kernel = bulk_of(self.graph)
+        return csr
+
+    def _run(self, csr: CSRGraph, source: int, eids, verts, target) -> SearchResult:
+        kernel = self._kernel
+        ban = kernel.stamp_edge_ids(eids, verts)
+        if kernel.source_banned(source, ban):
+            raise GraphError(f"source {source} is banned")
+        kernel.bfs(source, ban, target)
+        dist, parent = kernel.collect()
+        return SearchResult(source, dist, parent)
 
 
 class LexShortestPaths:
@@ -475,30 +565,59 @@ class DistanceOracle:
     and traverses with O(1) array-lookup ban tests, performing zero
     per-call allocation.
 
-    Point queries additionally go through a keyed memo cache:
-    ``Cons2FTBFS`` re-runs many identical ``(source, target, F)``
-    feasibility checks (step 3 probes each fault pair up to three
-    times), and the memo answers repeats in O(|F| log |F|) key-building
-    time instead of a BFS.  The cache is cleared wholesale when it
-    exceeds ``cache_size`` entries.
+    Point queries and full distance sweeps additionally go through the
+    process-wide snapshot cache: ``Cons2FTBFS`` re-runs many identical
+    ``(source, target, F)`` feasibility checks (step 3 probes each
+    fault pair up to three times), and the memo answers repeats in
+    O(|F| log |F|) key-building time instead of a BFS.  Because the
+    cache is keyed on the graph's CSR snapshot, oracle *instances* on
+    one graph share it — repeated feasibility checks across builders
+    and sources are answered once per process — and graph mutation
+    invalidates it wholesale.  Namespaces overflow-clear at
+    ``cache_size`` (point entries) / :data:`VEC_CACHE_LIMIT` (vector
+    entries).
     """
 
     __slots__ = ("graph", "_csr", "_cache", "_cache_size")
 
-    def __init__(self, graph: Graph, cache_size: int = 262_144) -> None:
+    #: Snapshot-cache namespaces, per oracle family (so equivalence
+    #: tests compare independently computed results).
+    _PT_NS = "pt:csr"
+    _VEC_NS = "vec:csr"
+    #: Full distance vectors are n ints each, so their namespace gets a
+    #: smaller overflow limit than scalar point entries.
+    VEC_CACHE_LIMIT = 8_192
+
+    def __init__(
+        self,
+        graph: Graph,
+        cache_size: int = 262_144,
+        cache: Optional[SnapshotCache] = None,
+    ) -> None:
         self.graph = graph
         self._csr = csr_of(graph)
-        self._cache: Dict[tuple, int] = {}
+        self._cache = shared_cache() if cache is None else cache
         self._cache_size = cache_size
 
     def _snapshot(self) -> CSRGraph:
-        """The live CSR snapshot; rebuilt (and memo dropped) after mutation."""
+        """The live CSR snapshot; rebuilt after mutation (which also
+        retires the old snapshot's cache table)."""
         csr = self._csr
         if csr.version != self.graph.version:
             csr = csr_of(self.graph)
             self._csr = csr
-            self._cache.clear()
         return csr
+
+    def _sweep_kernel(self, csr: CSRGraph):
+        """The kernel running full distance sweeps (python CSR here;
+        the bulk oracle overrides this with the numpy kernel)."""
+        return csr
+
+    def _restriction(self, csr, banned_edges, banned_vertices):
+        eids = csr.resolve_edge_ids(banned_edges)
+        eids.sort()
+        verts = sorted(set(banned_vertices)) if banned_vertices else []
+        return eids, verts
 
     def distance(
         self,
@@ -509,15 +628,10 @@ class DistanceOracle:
     ) -> float:
         """Hop distance source→target under a restriction (inf if cut)."""
         csr = self._snapshot()
-        eids = csr.resolve_edge_ids(banned_edges)
-        eids.sort()
-        if banned_vertices:
-            verts = sorted(set(banned_vertices))
-        else:
-            verts = []
+        eids, verts = self._restriction(csr, banned_edges, banned_vertices)
         key = (source, target, tuple(eids), tuple(verts))
         cache = self._cache
-        d = cache.get(key)
+        d = cache.get(csr, self._PT_NS, key)
         if d is None:
             if 0 <= target < csr.n:
                 d = csr.bidir_distance(
@@ -525,9 +639,7 @@ class DistanceOracle:
                 )
             else:
                 d = UNREACHED  # match the legacy "never found" behavior
-            if len(cache) >= self._cache_size:
-                cache.clear()
-            cache[key] = d
+            cache.put(csr, self._PT_NS, key, d, limit=self._cache_size)
         return INF if d == UNREACHED else d
 
     def distances_from(
@@ -538,11 +650,20 @@ class DistanceOracle:
     ) -> List[int]:
         """All hop distances from ``source`` (``-1`` = unreachable).
 
-        Returns a fresh list safe to keep.
+        Returns a fresh list safe to keep (cached vectors are copied
+        out, never aliased).
         """
         csr = self._snapshot()
-        csr.bfs_dists(source, csr.stamp_bans(banned_edges, banned_vertices))
-        return csr.distances_list()
+        eids, verts = self._restriction(csr, banned_edges, banned_vertices)
+        key = (source, tuple(eids), tuple(verts))
+        cache = self._cache
+        vec = cache.get(csr, self._VEC_NS, key)
+        if vec is None:
+            kernel = self._sweep_kernel(csr)
+            kernel.bfs_dists(source, kernel.stamp_edge_ids(eids, verts))
+            vec = kernel.distances_list()
+            cache.put(csr, self._VEC_NS, key, vec, limit=self.VEC_CACHE_LIMIT)
+        return list(vec)
 
     def multi_source_distances(
         self,
@@ -555,15 +676,63 @@ class DistanceOracle:
         The restriction is stamped once and reused across the per-source
         searches (kernel pooling invariant 2), which is the batched
         entry point for FT-MBFS workloads: ``σ`` sources × one fault
-        set costs one ban normalization instead of ``σ``.
+        set costs one ban normalization instead of ``σ`` — and sources
+        whose vector is already in the snapshot cache skip their sweep
+        entirely.
         """
         csr = self._snapshot()
-        ban = csr.stamp_bans(banned_edges, banned_vertices)
+        eids, verts = self._restriction(csr, banned_edges, banned_vertices)
+        ekey, vkey = tuple(eids), tuple(verts)
+        cache = self._cache
+        kernel = self._sweep_kernel(csr)
+        ban = None
         out: List[List[int]] = []
         for s in sources:
-            csr.bfs_dists(s, ban)
-            out.append(csr.distances_list())
+            key = (s, ekey, vkey)
+            vec = cache.get(csr, self._VEC_NS, key)
+            if vec is None:
+                if ban is None:  # stamp lazily, once, for all misses
+                    ban = kernel.stamp_edge_ids(eids, verts)
+                kernel.bfs_dists(s, ban)
+                vec = kernel.distances_list()
+                cache.put(csr, self._VEC_NS, key, vec, limit=self.VEC_CACHE_LIMIT)
+            out.append(list(vec))
         return out
+
+
+class BulkDistanceOracle(DistanceOracle):
+    """:class:`DistanceOracle` with full sweeps on the numpy bulk kernel.
+
+    Point queries keep the python kernel's bidirectional meet-in-the-
+    middle search (its two small balls rarely have frontiers worth
+    vectorizing), but full distance sweeps and the batched multi-source
+    path — the O(n + m)-per-call workhorses — run level-synchronously
+    on :class:`repro.core.bulk.BulkCSRKernel`.  Paired with the
+    ``lex-bulk`` engine via ``oracle_class``.
+    """
+
+    __slots__ = ()
+
+    _PT_NS = "pt:bulk"
+    _VEC_NS = "vec:bulk"
+
+    def __init__(
+        self,
+        graph: Graph,
+        cache_size: int = 262_144,
+        cache: Optional[SnapshotCache] = None,
+    ) -> None:
+        if not HAVE_BULK:
+            raise GraphError(
+                "BulkDistanceOracle requires numpy, which is not installed"
+            )
+        super().__init__(graph, cache_size, cache)
+
+    def _sweep_kernel(self, csr: CSRGraph):
+        kernel = csr._bulk
+        if kernel is None:
+            kernel = bulk_of(self.graph)
+        return kernel
 
 
 class PythonDistanceOracle:
@@ -655,18 +824,24 @@ class PythonDistanceOracle:
 
 #: Oracle family matching each engine: legacy engines pair with the
 #: legacy oracle (so ``--engine lex`` reproduces the pre-kernel system
-#: end to end), CSR-backed engines pair with the CSR oracle.
+#: end to end), CSR-backed engines pair with the CSR oracle, the bulk
+#: engine with the bulk oracle.
 LexShortestPaths.oracle_class = PythonDistanceOracle
 CSRLexShortestPaths.oracle_class = DistanceOracle
 PerturbedShortestPaths.oracle_class = DistanceOracle
+BulkLexShortestPaths.oracle_class = BulkDistanceOracle
 
 
-#: Registry of available engines, keyed by their ``name``.
+#: Registry of available engines, keyed by their ``name``.  The bulk
+#: engine registers only when numpy is importable, so numpy-less
+#: installs keep working with the python kernels.
 ENGINES = {
     CSRLexShortestPaths.name: CSRLexShortestPaths,
     LexShortestPaths.name: LexShortestPaths,
     PerturbedShortestPaths.name: PerturbedShortestPaths,
 }
+if HAVE_BULK:
+    ENGINES[BulkLexShortestPaths.name] = BulkLexShortestPaths
 
 #: Default engine used whenever callers pass ``engine=None``.
 DEFAULT_ENGINE = CSRLexShortestPaths.name

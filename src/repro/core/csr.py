@@ -108,6 +108,9 @@ class CSRGraph:
     """
 
     __slots__ = (
+        # weakref support: repro.core.snapshot_cache keys its shared
+        # memo tables on the snapshot, weakly, so entries die with it.
+        "__weakref__",
         "n",
         "m",
         "version",
@@ -117,6 +120,9 @@ class CSRGraph:
         "edge_index",
         "rows",
         "arcs",
+        # Lazily attached numpy bulk kernel (repro.core.bulk.bulk_of);
+        # lives on the snapshot so it shares its lifetime/invalidation.
+        "_bulk",
         "_visit",
         "_dist",
         "_parent",
@@ -164,6 +170,7 @@ class CSRGraph:
             )
             for u in range(n)
         ]
+        self._bulk = None
         # Pooled scratch (stamped; see module docstring).
         self._visit = [UNREACHED] * n
         self._dist = [0] * n

@@ -1,0 +1,134 @@
+"""Process-wide memo cache for restricted-search results, keyed per snapshot.
+
+The engine search memo and the distance oracle's point-query memo used
+to be per-*instance* dictionaries, so two builders running on the same
+graph — or two :class:`~repro.replacement.base.SourceContext` objects
+probing the same fault sets from the same source — each re-ran
+identical restricted searches.  This module centralizes those memos
+into one shared :class:`SnapshotCache`:
+
+* **Keying.**  Entries are keyed on the graph's live CSR snapshot
+  (:class:`~repro.core.csr.CSRGraph`), a *namespace* naming the result
+  kind (point distance, distance vector, search result), and the frozen
+  restriction key (source/target plus sorted banned edge ids and
+  vertices).  Because :func:`repro.core.csr.csr_of` returns one
+  snapshot per ``(graph, version)``, all consumers of one graph agree
+  on the key — and a graph mutation, which makes ``csr_of`` build a new
+  snapshot, *is* the invalidation: the old snapshot's table becomes
+  unreachable and is dropped by the weak table the moment the last
+  engine refreshes.
+
+* **Sharing.**  :class:`~repro.core.canonical.DistanceOracle`,
+  :class:`~repro.core.canonical.CSRLexShortestPaths` and the bulk
+  variants all consult :func:`shared_cache` by default, so the repeated
+  feasibility checks that dominate ``Cons2FTBFS`` are answered once per
+  process, not once per builder.  Results stored here are immutable by
+  contract (vector entries are copied out on read).
+
+* **Accounting.**  ``hits`` / ``misses`` / ``evictions`` counters make
+  cache behavior observable (and testable:
+  ``tests/test_snapshot_cache.py``); :meth:`SnapshotCache.stats`
+  snapshots them together with the live table sizes.
+
+Benchmarks that compare engines on one graph must call
+:meth:`SnapshotCache.clear` between timed arms (see
+``benchmarks/bench_e10_runtime.py``) — otherwise the second arm is
+measured against a warm cache and the comparison is meaningless.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, Hashable, Optional
+
+#: Default per-namespace entry limit before a wholesale eviction.
+DEFAULT_LIMIT = 262_144
+
+
+class SnapshotCache:
+    """Shared memo tables keyed on ``(CSR snapshot, namespace, key)``.
+
+    Tables are held in a :class:`weakref.WeakKeyDictionary` keyed on the
+    snapshot object, so entries never outlive the snapshot they describe
+    — graph mutation invalidates by construction, no explicit flush
+    required.  Within a snapshot, each namespace is an independent dict
+    with an independent size limit; overflow clears that namespace
+    wholesale (the stamped-kernel workloads have no useful recency
+    structure, so LRU bookkeeping would cost more than it saves).
+    """
+
+    __slots__ = ("hits", "misses", "evictions", "_tables")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._tables: "weakref.WeakKeyDictionary[Any, Dict[str, dict]]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def get(self, snapshot: Any, namespace: str, key: Hashable) -> Optional[Any]:
+        """The cached value, or ``None`` (counted as hit/miss)."""
+        table = self._tables.get(snapshot)
+        if table is not None:
+            ns = table.get(namespace)
+            if ns is not None:
+                value = ns.get(key)
+                if value is not None:
+                    self.hits += 1
+                    return value
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        snapshot: Any,
+        namespace: str,
+        key: Hashable,
+        value: Any,
+        limit: int = DEFAULT_LIMIT,
+    ) -> None:
+        """Store ``value``; clears the namespace wholesale at ``limit``."""
+        table = self._tables.get(snapshot)
+        if table is None:
+            table = {}
+            self._tables[snapshot] = table
+        ns = table.get(namespace)
+        if ns is None:
+            ns = {}
+            table[namespace] = ns
+        elif len(ns) >= limit:
+            self.evictions += len(ns)
+            ns.clear()
+        ns[key] = value
+
+    def stats(self) -> Dict[str, int]:
+        """Counters plus live table sizes (for reports and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "snapshots": len(self._tables),
+            "entries": sum(
+                len(ns) for table in self._tables.values() for ns in table.values()
+            ),
+        }
+
+    def clear(self) -> None:
+        """Drop every table (counters are kept; see :meth:`reset_stats`)."""
+        self._tables.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+#: The process-wide instance every oracle/engine uses by default.
+_SHARED = SnapshotCache()
+
+
+def shared_cache() -> SnapshotCache:
+    """The process-wide :class:`SnapshotCache` shared by all consumers."""
+    return _SHARED

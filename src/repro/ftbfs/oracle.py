@@ -28,9 +28,13 @@ class FTQueryOracle:
         Any :class:`~repro.ftbfs.structures.FTStructure`.
     engine:
         Canonical engine for route extraction: an instance, a
-        registered name, or ``None`` for the default CSR-backed engine.
-        The distance oracle follows the engine's declared family, so
-        queries run on the pooled flat-array kernel by default.
+        registered name (``"lex-csr"``, ``"lex-bulk"``, ``"lex"``,
+        ``"perturbed"``), or ``None`` for the default CSR-backed
+        engine.  The distance oracle follows the engine's declared
+        family, so queries run on the pooled flat-array kernel by
+        default (or the vectorized numpy bulk kernel under
+        ``lex-bulk``), and repeated queries are memoized in the
+        process-wide snapshot cache.
 
     Notes
     -----

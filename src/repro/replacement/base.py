@@ -11,8 +11,18 @@ Engine/oracle pairing: the context instantiates the oracle family the
 engine declares (``engine.oracle_class``), so the default CSR engine
 runs on the pooled flat-array kernel of :mod:`repro.core.csr` (engine,
 oracle and tree share one snapshot and scratch pool via the graph's
-CSR cache), while the legacy ``lex`` engine reproduces the pre-kernel
-system end to end for reference benchmarking.
+CSR cache), the ``lex-bulk`` engine runs searches and sweeps on the
+vectorized numpy kernel of :mod:`repro.core.bulk`, and the legacy
+``lex`` engine reproduces the pre-kernel system end to end for
+reference benchmarking.
+
+The CSR-backed oracles and engines memoize through the process-wide
+:mod:`repro.core.snapshot_cache`, keyed on the graph's CSR snapshot and
+the frozen fault set — so two contexts (or two different builders)
+probing the same graph answer each other's repeated feasibility checks
+instead of re-running identical restricted searches.  The per-instance
+``fault_distances`` table below is a thin fast path over that shared
+layer.
 """
 
 from __future__ import annotations

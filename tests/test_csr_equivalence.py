@@ -1,13 +1,19 @@
-"""Equivalence of the CSR flat-array kernel with the legacy engines.
+"""Equivalence of the CSR and numpy bulk kernels with the legacy engines.
 
-The ``lex-csr`` engine must be *bit-for-bit* interchangeable with the
-legacy ``LexShortestPaths``: identical distances, identical canonical
-parents, identical canonical paths — under arbitrary banned edge/vertex
-restrictions.  These tests drive both engines over the shared graph zoo
-and randomized fault sets (plus hypothesis-generated random graphs) and
-compare every observable.  The CSR :class:`DistanceOracle` (including
-its memo cache and the bidirectional point query) is checked against
-the legacy :class:`PythonDistanceOracle` the same way.
+The ``lex-csr`` and ``lex-bulk`` engines must be *bit-for-bit*
+interchangeable with the legacy ``LexShortestPaths``: identical
+distances, identical canonical parents, identical canonical paths —
+under arbitrary banned edge/vertex restrictions.  These tests drive the
+engines over the shared graph zoo and randomized fault sets (plus
+hypothesis-generated random graphs) and compare every observable.  The
+CSR :class:`DistanceOracle` (including its memo cache and the
+bidirectional point query) and the :class:`BulkDistanceOracle` are
+checked against the legacy :class:`PythonDistanceOracle` the same way.
+
+The zoo graphs sit below the bulk kernel's vectorization crossover
+(where it would delegate to the python kernel and the test would prove
+nothing about the numpy path), so bulk engines here are built with a
+*forced-vectorized* kernel via :func:`forced_bulk_engine`.
 """
 
 import random
@@ -15,8 +21,11 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.bulk import BulkCSRKernel
 from repro.core.canonical import (
     INF,
+    BulkDistanceOracle,
+    BulkLexShortestPaths,
     CSRLexShortestPaths,
     DistanceOracle,
     LexShortestPaths,
@@ -25,11 +34,31 @@ from repro.core.canonical import (
     make_engine,
     multi_source_distances,
 )
+from repro.core.csr import csr_of
 from repro.core.errors import GraphError
 from repro.core.graph import Graph
 from repro.generators import erdos_renyi, path_graph
 
 from tests.zoo import zoo_params
+
+
+def force_vectorized(graph):
+    """Attach a bulk kernel with the size threshold disabled."""
+    csr = csr_of(graph)
+    csr._bulk = BulkCSRKernel(csr, min_bulk_n=0)
+    return csr._bulk
+
+
+def forced_bulk_engine(graph):
+    """A ``lex-bulk`` engine whose kernel always takes the numpy path."""
+    force_vectorized(graph)
+    return BulkLexShortestPaths(graph)
+
+
+def forced_bulk_oracle(graph):
+    """A :class:`BulkDistanceOracle` sweeping on the forced numpy kernel."""
+    force_vectorized(graph)
+    return BulkDistanceOracle(graph)
 
 
 def random_restriction(graph, rng, max_edges=3, max_vertices=3, forbid=(0,)):
@@ -48,16 +77,18 @@ def test_full_search_equivalence_under_random_faults(name, graph):
     """Distances, parents and paths agree on every zoo graph × fault set."""
     legacy = LexShortestPaths(graph)
     csr = CSRLexShortestPaths(graph)
+    bulk = forced_bulk_engine(graph)
     rng = random.Random(hash(name) & 0xFFFF)
     for trial in range(12):
         be, bv = random_restriction(graph, rng)
         res_l = legacy.search(0, banned_edges=be, banned_vertices=bv)
         res_c = csr.search(0, banned_edges=be, banned_vertices=bv)
-        assert res_l.distances() == res_c.distances()
+        res_b = bulk.search(0, banned_edges=be, banned_vertices=bv)
+        assert res_l.distances() == res_c.distances() == res_b.distances()
         for v in graph.vertices():
-            assert res_l.parent(v) == res_c.parent(v)
+            assert res_l.parent(v) == res_c.parent(v) == res_b.parent(v)
             if res_l.reached(v):
-                assert res_l.path(v) == res_c.path(v)
+                assert res_l.path(v) == res_c.path(v) == res_b.path(v)
 
 
 @zoo_params()
@@ -65,6 +96,7 @@ def test_canonical_path_equivalence_targeted(name, graph):
     """Target-limited searches extract identical canonical paths."""
     legacy = LexShortestPaths(graph)
     csr = CSRLexShortestPaths(graph)
+    bulk = forced_bulk_engine(graph)
     rng = random.Random(1 + (hash(name) & 0xFFFF))
     for trial in range(8):
         be, bv = random_restriction(graph, rng)
@@ -72,15 +104,22 @@ def test_canonical_path_equivalence_targeted(name, graph):
         for v in graph.vertices():
             if not full.reached(v):
                 continue
+            expect = legacy.canonical_path(
+                0, v, banned_edges=be, banned_vertices=bv
+            )
             assert csr.canonical_path(
                 0, v, banned_edges=be, banned_vertices=bv
-            ) == legacy.canonical_path(0, v, banned_edges=be, banned_vertices=bv)
+            ) == expect
+            assert bulk.canonical_path(
+                0, v, banned_edges=be, banned_vertices=bv
+            ) == expect
 
 
 @zoo_params()
 def test_distance_oracle_equivalence(name, graph):
-    """CSR oracle (memo + bidirectional BFS) == legacy oracle."""
+    """CSR + bulk oracles (memo, bidir, bulk sweeps) == legacy oracle."""
     new = DistanceOracle(graph)
+    bulk = forced_bulk_oracle(graph)
     old = PythonDistanceOracle(graph)
     rng = random.Random(2 + (hash(name) & 0xFFFF))
     for trial in range(40):
@@ -90,7 +129,10 @@ def test_distance_oracle_equivalence(name, graph):
         # point query twice: second hit exercises the memo cache
         assert new.distance(s, t, be, bv) == old.distance(s, t, be, bv)
         assert new.distance(s, t, be, bv) == old.distance(s, t, be, bv)
-        assert new.distances_from(s, be, bv) == old.distances_from(s, be, bv)
+        assert bulk.distance(s, t, be, bv) == old.distance(s, t, be, bv)
+        expect_vec = old.distances_from(s, be, bv)
+        assert new.distances_from(s, be, bv) == expect_vec
+        assert bulk.distances_from(s, be, bv) == expect_vec
 
 
 @zoo_params()
@@ -99,9 +141,14 @@ def test_multi_source_batch_matches_per_source(name, graph):
     be, bv = random_restriction(graph, rng, forbid=())
     sources = list(graph.vertices())[:4]
     batch = multi_source_distances(graph, sources, be, bv)
+    bulk_batch = forced_bulk_oracle(graph).multi_source_distances(
+        sources, be, bv
+    )
     old = PythonDistanceOracle(graph)
-    for s, vec in zip(sources, batch):
-        assert vec == old.distances_from(s, be, bv)
+    for s, vec, bvec in zip(sources, batch, bulk_batch):
+        expect = old.distances_from(s, be, bv)
+        assert vec == expect
+        assert bvec == expect
 
 
 @zoo_params()
@@ -118,22 +165,42 @@ class TestEngineContract:
         assert isinstance(make_engine(g), CSRLexShortestPaths)
         assert isinstance(make_engine(g, "lex-csr"), CSRLexShortestPaths)
         assert isinstance(make_engine(g, "lex"), LexShortestPaths)
+        assert isinstance(make_engine(g, "lex-bulk"), BulkLexShortestPaths)
+
+    def test_bulk_engine_pairs_with_bulk_oracle(self):
+        assert BulkLexShortestPaths.oracle_class is BulkDistanceOracle
+
+    def test_bulk_delegates_below_threshold(self):
+        """On small graphs the bulk kernel hands off to the python
+        kernel (and still answers correctly)."""
+        g = path_graph(6)
+        eng = make_engine(g, "lex-bulk")
+        assert not eng._kernel.vectorized
+        assert eng.search(0).dist(5) == 5
 
     def test_banned_source_rejected(self):
         g = path_graph(3)
         with pytest.raises(GraphError):
             CSRLexShortestPaths(g).search(0, banned_vertices=[0])
 
+    def test_banned_source_rejected_bulk(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            forced_bulk_engine(g).search(0, banned_vertices=[0])
+
     def test_invalid_source_rejected(self):
         g = path_graph(3)
         with pytest.raises(GraphError):
             CSRLexShortestPaths(g).search(9)
 
-    def test_search_memo_promotion(self):
+    @pytest.mark.parametrize(
+        "factory", [CSRLexShortestPaths, forced_bulk_engine], ids=["csr", "bulk"]
+    )
+    def test_search_memo_promotion(self, factory):
         """A repeated restriction with a deeper target is answered correctly
         (the cached target-stopped search must not serve it stale)."""
         g = path_graph(8)
-        eng = CSRLexShortestPaths(g)
+        eng = factory(g)
         near = eng.search(0, banned_edges=[(5, 6)], target=2)
         assert near.dist(2) == 2
         far = eng.search(0, banned_edges=[(5, 6)], target=5)
@@ -142,23 +209,41 @@ class TestEngineContract:
         again = eng.search(0, banned_edges=[(5, 6)])
         assert again.dist(5) == 5 and not again.reached(6)
 
-    def test_engine_sees_graph_mutation(self):
+    @pytest.mark.parametrize(
+        "engine_factory,oracle_factory",
+        [
+            (CSRLexShortestPaths, DistanceOracle),
+            (forced_bulk_engine, forced_bulk_oracle),
+        ],
+        ids=["csr", "bulk"],
+    )
+    def test_engine_sees_graph_mutation(self, engine_factory, oracle_factory):
         """Mutating the graph after engine/oracle construction must not
         serve stale snapshots or stale memo entries (the legacy default
         engine read adjacency live on every search)."""
         g = path_graph(4)
-        eng = CSRLexShortestPaths(g)
-        oracle = DistanceOracle(g)
+        eng = engine_factory(g)
+        oracle = oracle_factory(g)
         assert eng.search(0).dist(3) == 3
         assert oracle.distance(0, 3) == 3
         g.add_edge(0, 3)
+        if engine_factory is forced_bulk_engine:
+            # The mutation retires the forced kernel with its snapshot;
+            # re-force so the post-mutation asserts still exercise the
+            # vectorized path (not the sub-threshold delegation).
+            force_vectorized(g)
         assert eng.search(0).dist(3) == 1
         assert oracle.distance(0, 3) == 1
         assert oracle.distances_from(0) == [0, 1, 2, 1]
+        if engine_factory is forced_bulk_engine:
+            assert eng._kernel.vectorized  # the numpy path was re-tested
 
-    def test_memo_results_stable_across_mixed_targets(self):
+    @pytest.mark.parametrize(
+        "factory", [CSRLexShortestPaths, forced_bulk_engine], ids=["csr", "bulk"]
+    )
+    def test_memo_results_stable_across_mixed_targets(self, factory):
         g = erdos_renyi(24, 0.15, seed=6)
-        eng = CSRLexShortestPaths(g)
+        eng = factory(g)
         ref = LexShortestPaths(g)
         rng = random.Random(9)
         for _ in range(60):
@@ -169,6 +254,23 @@ class TestEngineContract:
             assert res.dist(v) == expect.dist(v)
             if expect.reached(v):
                 assert res.path(v) == expect.path(v)
+
+    def test_bulk_natural_vectorization_on_large_graph(self):
+        """Above the size threshold the default-built bulk engine runs
+        the numpy path (no forcing) and stays bit-identical."""
+        g = erdos_renyi(600, 0.012, seed=13)
+        bulk = BulkLexShortestPaths(g)
+        assert bulk._kernel.vectorized
+        csr = CSRLexShortestPaths(g)
+        rng = random.Random(17)
+        for _ in range(6):
+            be, bv = random_restriction(g, rng)
+            res_b = bulk.search(0, banned_edges=be, banned_vertices=bv)
+            res_c = csr.search(0, banned_edges=be, banned_vertices=bv)
+            assert res_b.distances() == res_c.distances()
+            assert [res_b.parent(v) for v in range(g.n)] == [
+                res_c.parent(v) for v in range(g.n)
+            ]
 
 
 @settings(max_examples=40, deadline=None)
@@ -184,9 +286,10 @@ def test_property_random_graph_random_faults_equivalence(n, p, seed, fault_seed)
     be, bv = random_restriction(g, rng)
     res_l = LexShortestPaths(g).search(0, banned_edges=be, banned_vertices=bv)
     res_c = CSRLexShortestPaths(g).search(0, banned_edges=be, banned_vertices=bv)
-    assert res_l.distances() == res_c.distances()
+    res_b = forced_bulk_engine(g).search(0, banned_edges=be, banned_vertices=bv)
+    assert res_l.distances() == res_c.distances() == res_b.distances()
     for v in range(g.n):
-        assert res_l.parent(v) == res_c.parent(v)
+        assert res_l.parent(v) == res_c.parent(v) == res_b.parent(v)
 
 
 @settings(max_examples=40, deadline=None)

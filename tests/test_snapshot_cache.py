@@ -1,0 +1,145 @@
+"""The process-wide snapshot cache: correctness of sharing + invalidation.
+
+Three behaviors matter:
+
+* **Invalidation** — entries are keyed on the graph's CSR snapshot, so
+  a graph mutation (version bump → new snapshot) must make every
+  consumer recompute; serving a stale distance would silently corrupt
+  constructions.
+* **Accounting** — hits/misses/evictions are observable, so regressions
+  in cache effectiveness are testable instead of anecdotal.
+* **Cross-instance sharing** — the point of centralizing the memos:
+  two oracles, two engines, or two different builders on one graph must
+  answer each other's repeated restricted searches.
+"""
+
+import gc
+
+from repro.core.canonical import (
+    CSRLexShortestPaths,
+    DistanceOracle,
+    shared_cache,
+)
+from repro.core.snapshot_cache import SnapshotCache
+from repro.core.csr import csr_of
+from repro.ftbfs import build_dual_ftbfs_simple, build_single_ftbfs
+from repro.generators import erdos_renyi, path_graph
+
+
+def test_hit_miss_accounting():
+    cache = SnapshotCache()
+    g = path_graph(6)
+    oracle = DistanceOracle(g, cache=cache)
+    assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0
+    assert oracle.distance(0, 5) == 5
+    first = cache.stats()
+    assert first["misses"] >= 1 and first["hits"] == 0
+    assert oracle.distance(0, 5) == 5
+    second = cache.stats()
+    assert second["hits"] == first["hits"] + 1
+    assert second["misses"] == first["misses"]
+    cache.reset_stats()
+    stats = cache.stats()
+    assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+    assert stats["entries"] >= 1  # reset_stats keeps the entries
+
+
+def test_namespace_overflow_eviction():
+    cache = SnapshotCache()
+    snap = csr_of(path_graph(3))  # any weakref-able key object
+    cache.put(snap, "ns", 1, "a", limit=2)
+    cache.put(snap, "ns", 2, "b", limit=2)
+    assert cache.stats()["entries"] == 2
+    cache.put(snap, "ns", 3, "c", limit=2)  # overflow: wholesale clear
+    assert cache.evictions == 2
+    assert cache.get(snap, "ns", 1) is None
+    assert cache.get(snap, "ns", 3) == "c"
+
+
+def test_invalidation_on_graph_mutation():
+    cache = SnapshotCache()
+    g = path_graph(4)
+    oracle = DistanceOracle(g, cache=cache)
+    assert oracle.distance(0, 3) == 3
+    assert oracle.distances_from(0) == [0, 1, 2, 3]
+    miss_before = cache.misses
+    g.add_edge(0, 3)  # version bump: every cached answer is stale
+    assert oracle.distance(0, 3) == 1
+    assert oracle.distances_from(0) == [0, 1, 2, 1]
+    assert cache.misses > miss_before  # recomputed, not served stale
+    # and the fresh answers are cached under the new snapshot
+    hits_before = cache.hits
+    assert oracle.distance(0, 3) == 1
+    assert cache.hits == hits_before + 1
+
+
+def test_mutation_retires_old_snapshot_table():
+    cache = SnapshotCache()
+    g = path_graph(5)
+    oracle = DistanceOracle(g, cache=cache)
+    oracle.distance(0, 4)
+    assert cache.stats()["snapshots"] == 1
+    g.add_edge(0, 4)
+    oracle.distance(0, 4)  # binds the cache to the new snapshot
+    gc.collect()  # the old snapshot has no strong refs left
+    assert cache.stats()["snapshots"] == 1
+
+
+def test_cross_oracle_sharing():
+    cache = SnapshotCache()
+    g = erdos_renyi(24, 0.2, seed=5)
+    a = DistanceOracle(g, cache=cache)
+    b = DistanceOracle(g, cache=cache)
+    d = a.distance(0, 7, banned_edges=[(0, 1)])
+    hits_before = cache.hits
+    assert b.distance(0, 7, banned_edges=[(0, 1)]) == d
+    assert cache.hits == hits_before + 1  # b answered from a's work
+
+
+def test_cross_engine_sharing_serves_identical_result():
+    cache = SnapshotCache()
+    g = erdos_renyi(20, 0.2, seed=8)
+    a = CSRLexShortestPaths(g, cache=cache)
+    b = CSRLexShortestPaths(g, cache=cache)
+    res_a = a.search(0, banned_vertices=[3])
+    res_b = b.search(0, banned_vertices=[3])
+    assert res_b is res_a  # literally the shared memo entry
+
+
+def test_vector_entries_are_copied_not_aliased():
+    cache = SnapshotCache()
+    g = path_graph(5)
+    oracle = DistanceOracle(g, cache=cache)
+    vec = oracle.distances_from(0)
+    vec[0] = 999  # caller-owned copy; must not corrupt the cache
+    assert oracle.distances_from(0) == [0, 1, 2, 3, 4]
+
+
+def test_cross_builder_sharing_via_shared_cache():
+    """Two different builders on one graph reuse each other's searches."""
+    cache = shared_cache()
+    g = erdos_renyi(40, 0.12, seed=20)
+    csr_of(g)  # settle the snapshot before measuring
+    cache.clear()
+    cache.reset_stats()
+    try:
+        build_single_ftbfs(g, 0)
+        hits_single, misses_single = cache.hits, cache.misses
+        assert misses_single > 0  # the first builder had to compute
+        build_dual_ftbfs_simple(g, 0)
+        delta_hits = cache.hits - hits_single
+        delta_misses = cache.misses - misses_single
+        # The dual builder replays the single-fault phase, so a visible
+        # fraction of its queries must be answered by the first
+        # builder's entries.
+        assert delta_hits > 0
+        assert delta_hits + delta_misses > 0
+    finally:
+        cache.clear()
+        cache.reset_stats()
+
+
+def test_default_consumers_use_the_process_wide_instance():
+    g = path_graph(3)
+    assert DistanceOracle(g)._cache is shared_cache()
+    assert CSRLexShortestPaths(g)._cache is shared_cache()
