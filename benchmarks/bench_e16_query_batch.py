@@ -1,0 +1,289 @@
+"""E16 — batched point-query pipeline vs the per-pair scalar path.
+
+PR 1 made every restricted search pooled and allocation-free, PR 2
+vectorized full sweeps; the feasibility *point queries* that dominate
+``Cons2FTBFS`` stayed scalar-per-pair.  This benchmark quantifies the
+batched point-query pipeline (:mod:`repro.core.query_batch`) that
+replaced them:
+
+**Feasibility workload** (the headline, enforced by CI).  For each
+ladder entry, the construction's plannable step-2/3 feasibility probes
+(:func:`repro.ftbfs.cons2ftbfs.feasibility_probes`) are answered two
+ways, cold-cache each time:
+
+* *batched* — the plan → dedupe → grouped-execution pipeline under the
+  ``lex-bulk`` oracle: step-2 probes first try their zero-traversal
+  step-1 certificates, the rest go through one
+  :class:`~repro.core.query_batch.PointQueryBatch` execution
+  (tree-repair fast path, shared sweeps, cross-query multi-pair
+  kernel);
+* *per-pair scalar* — the identical probes looped through scalar
+  ``oracle.distance`` point queries (the pre-batch code path, i.e.
+  ``REPRO_QUERY_BATCH=0``'s behavior).
+
+The speedup of the **first** ladder entry (the headline workload) must
+meet ``REPRO_BENCH_MIN_BATCH_VS_SCALAR``.
+
+**Batch-size curve.**  ``distances_bulk`` (one fault set, one source,
+many targets) against per-pair scalar queries across batch sizes — the
+per-pair latency curve that shows where batching starts paying.
+
+**End-to-end builds.**  ``build_cons2ftbfs`` wall time with the
+batched pipeline vs ``REPRO_QUERY_BATCH=0`` (informational; the
+builder also spends time in engine searches and path assembly that
+batching does not touch), asserting byte-identical structures.
+
+Environment knobs (used by CI's smoke run):
+
+``REPRO_E16_SIZES``
+    Comma list of ``kind:n:arg`` workloads, ``kind`` in
+    ``chords`` (``arg`` = chord count) / ``er`` (``arg`` = edge
+    probability).  Default ``chords:1000:300,er:1000:0.008`` — a
+    sparse tree-plus-chords instance (deep canonical trees, the regime
+    FT-BFS structures are built for) plus the E10 ER family.  The
+    first entry is the headline the speedup floor applies to.
+``REPRO_BENCH_MIN_BATCH_VS_SCALAR``
+    Required batched-vs-scalar speedup on the headline feasibility
+    workload (default 0 = informational; the nightly full-size run
+    enforces 2.0 at n=1000).
+``REPRO_BENCH_ROUNDS``
+    Best-of rounds per arm (default 2).
+"""
+
+import os
+import time
+
+from repro.core.snapshot_cache import shared_cache
+from repro.ftbfs.cons2ftbfs import build_cons2ftbfs, feasibility_probes
+from repro.generators import erdos_renyi, tree_plus_chords
+from repro.replacement.base import SourceContext
+
+from _common import emit, emit_json, table
+
+BATCH_ENGINE = "lex-bulk"
+
+
+def _sizes():
+    spec = os.environ.get(
+        "REPRO_E16_SIZES", "chords:1000:300,er:1000:0.008"
+    )
+    out = []
+    for item in spec.split(","):
+        kind, n, arg = item.split(":")
+        out.append((kind, int(n), float(arg)))
+    return out
+
+
+def _graph(kind, n, arg, seed=20):
+    if kind == "chords":
+        return tree_plus_chords(n, int(arg), seed=seed)
+    if kind == "er":
+        return erdos_renyi(n, arg, seed=seed)
+    raise ValueError(f"unknown E16 graph kind {kind!r}")
+
+
+def _rounds():
+    return max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "2")))
+
+
+def _time_batched(ctx, probes):
+    """Answer every probe through the batched pipeline (cold cache)."""
+    shared_cache().clear()
+    source = ctx.source
+    t0 = time.perf_counter()
+    batch = ctx.query_batch()
+    add = batch.add
+    certified = 0
+    for v, faults, certs in probes:
+        if certs is not None:
+            upper, lower = certs
+            # Step-1 certificates (see cons2ftbfs._plan_vertex): a
+            # surviving replacement path answers the probe outright.
+            if not upper.has_edge(*faults[1]) or not lower.has_edge(*faults[0]):
+                certified += 1
+                continue
+        add(source, v, faults)
+    batch.execute()
+    elapsed = time.perf_counter() - t0
+    return elapsed, certified, batch.stats
+
+
+def _time_scalar(ctx, probes):
+    """Answer every probe with per-pair scalar point queries (cold)."""
+    shared_cache().clear()
+    distance = ctx.oracle.distance
+    source = ctx.source
+    t0 = time.perf_counter()
+    for v, faults, _certs in probes:
+        distance(source, v, faults)
+    return time.perf_counter() - t0
+
+
+def test_e16_feasibility_workload(benchmark):
+    rounds = _rounds()
+    min_speedup = float(
+        os.environ.get("REPRO_BENCH_MIN_BATCH_VS_SCALAR", "0")
+    )
+    rows = []
+    entries = []
+    for kind, n, arg in _sizes():
+        g = _graph(kind, n, arg)
+        shared_cache().clear()
+        ctx = SourceContext(g, 0, BATCH_ENGINE)
+        probes = feasibility_probes(ctx)  # runs step 1 once (untimed)
+        best_b, best_s = float("inf"), float("inf")
+        stats = None
+        for _ in range(rounds):
+            elapsed, certified, stats = _time_batched(ctx, probes)
+            best_b = min(best_b, elapsed)
+            best_s = min(best_s, _time_scalar(ctx, probes))
+        speedup = best_s / best_b
+        label = f"{kind} n={n}"
+        rows.append(
+            [
+                label,
+                len(probes),
+                f"{1000.0 * best_b:.1f}",
+                f"{1000.0 * best_s:.1f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+        entries.append(
+            {
+                "kind": kind,
+                "n": n,
+                "arg": arg,
+                "m": g.m,
+                "probes": len(probes),
+                "certified": certified,
+                "batched_seconds": best_b,
+                "scalar_seconds": best_s,
+                "speedup": speedup,
+                "executor_stats": stats,
+            }
+        )
+    body = table(
+        ["workload", "probes", "batched (ms)", "per-pair (ms)", "speedup"],
+        rows,
+    )
+    body += (
+        "\nCons2FTBFS step-2/3 feasibility probes answered via the "
+        "\nbatched pipeline vs per-pair scalar oracle.distance; best of "
+        f"{_rounds()} rounds, snapshot cache cleared per arm."
+    )
+    emit("E16", "batched feasibility checks vs per-pair scalar", body)
+    headline = entries[0]
+    emit_json(
+        "e16",
+        {
+            "experiment": "e16_query_batch",
+            "engine": BATCH_ENGINE,
+            "rounds": _rounds(),
+            "workloads": entries,
+            "headline": headline,
+            "required_min_speedup": min_speedup,
+        },
+    )
+    if min_speedup:
+        assert headline["speedup"] >= min_speedup, (
+            f"batched feasibility checks only {headline['speedup']:.2f}x "
+            f"faster than per-pair scalar on {headline['kind']} "
+            f"n={headline['n']} (required {min_speedup}x)"
+        )
+    kind, n, arg = _sizes()[0]
+    g_small = _graph(kind, min(n, 200), arg if kind == "er" else min(arg, 200))
+    ctx_small = SourceContext(g_small, 0, BATCH_ENGINE)
+    probes_small = feasibility_probes(ctx_small)
+    benchmark.pedantic(
+        lambda: _time_batched(ctx_small, probes_small), rounds=1, iterations=1
+    )
+
+
+def test_e16_batch_size_curve(benchmark):
+    kind, n, arg = _sizes()[0]
+    g = _graph(kind, n, arg)
+    shared_cache().clear()
+    ctx = SourceContext(g, 0, BATCH_ENGINE)
+    oracle = ctx.oracle
+    tree_vertices = [v for v in ctx.tree.vertices() if v != ctx.source]
+    edges = sorted(g.edges())
+    faults = (edges[len(edges) // 3], edges[2 * len(edges) // 3])
+    rows = []
+    curve = []
+    for size in (1, 4, 16, 64, 256, 1024):
+        targets = [tree_vertices[i % len(tree_vertices)] for i in range(size)]
+        pairs = [(ctx.source, t) for t in targets]
+        shared_cache().clear()
+        t0 = time.perf_counter()
+        bulk = oracle.distances_bulk(pairs, faults)
+        t_bulk = time.perf_counter() - t0
+        shared_cache().clear()
+        t0 = time.perf_counter()
+        scalar = [oracle.distance(s, t, faults) for s, t in pairs]
+        t_scalar = time.perf_counter() - t0
+        assert bulk == scalar
+        rows.append(
+            [
+                size,
+                f"{1e6 * t_bulk / size:.1f}",
+                f"{1e6 * t_scalar / size:.1f}",
+            ]
+        )
+        curve.append(
+            {
+                "batch_size": size,
+                "bulk_us_per_pair": 1e6 * t_bulk / size,
+                "scalar_us_per_pair": 1e6 * t_scalar / size,
+            }
+        )
+    emit(
+        "E16-batch-curve",
+        "per-pair latency vs batch size (distances_bulk)",
+        table(["batch size", "bulk (us/pair)", "scalar (us/pair)"], rows),
+    )
+    path = emit_json("e16_curve", {"workload": [kind, n, arg], "curve": curve})
+    assert path.exists()
+    benchmark.pedantic(
+        lambda: oracle.distances_bulk(
+            [(ctx.source, t) for t in tree_vertices[:64]], faults
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e16_end_to_end_build(benchmark):
+    kind, n, arg = _sizes()[-1]
+    g = _graph(kind, min(n, 400), arg if kind == "er" else min(arg, 400))
+    times = {}
+    sizes = {}
+    for mode in ("1", "0"):
+        os.environ["REPRO_QUERY_BATCH"] = mode
+        try:
+            best = float("inf")
+            for _ in range(_rounds()):
+                shared_cache().clear()
+                t0 = time.perf_counter()
+                h = build_cons2ftbfs(g, 0, engine=BATCH_ENGINE)
+                best = min(best, time.perf_counter() - t0)
+            times[mode] = best
+            sizes[mode] = frozenset(h.edges)
+        finally:
+            os.environ.pop("REPRO_QUERY_BATCH", None)
+    assert sizes["1"] == sizes["0"], "batched build must be byte-identical"
+    emit(
+        "E16-build",
+        "end-to-end build_cons2ftbfs, batched vs scalar feasibility",
+        table(
+            ["arm", "seconds"],
+            [
+                ["batched (REPRO_QUERY_BATCH=1)", f"{times['1']:.3f}"],
+                ["scalar (REPRO_QUERY_BATCH=0)", f"{times['0']:.3f}"],
+            ],
+        ),
+    )
+    benchmark.pedantic(
+        lambda: build_cons2ftbfs(g, 0, engine=BATCH_ENGINE),
+        rounds=1,
+        iterations=1,
+    )

@@ -22,9 +22,16 @@ CLI's ``--engine``): ``lex-csr`` (default; pooled flat-array python
 kernel), ``lex-bulk`` (vectorized numpy bulk kernel — whole BFS
 frontiers as int32 batches, bit-identical results, fastest on large
 graphs; present when numpy is installed), and ``lex`` (legacy layered
-reference).  Repeated feasibility checks are memoized in a
-process-wide snapshot cache (:mod:`repro.core.snapshot_cache`) shared
-across builders and oracles and invalidated by graph mutation.
+reference).  Feasibility point queries are batch-first: builders plan
+them against a :class:`PointQueryBatch`
+(:mod:`repro.core.query_batch`), which deduplicates, groups by fault
+set and executes each group in one shot — tree-repair mini searches,
+shared sweeps, or the cross-query vectorized multi-pair kernel —
+bit-identically to per-pair queries.  Repeated feasibility checks are
+memoized in a process-wide snapshot cache
+(:mod:`repro.core.snapshot_cache`) shared across builders and oracles,
+weight-capped so vector memos stay bounded, and invalidated by graph
+mutation.
 
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md``
 for the reproduced tables/figures.
@@ -55,7 +62,10 @@ from repro.core import (
     Edge,
     Graph,
     GraphError,
+    LegacyQueryBatch,
     LexShortestPaths,
+    PointQueryBatch,
+    QueryHandle,
     Path,
     PathError,
     PerturbedShortestPaths,

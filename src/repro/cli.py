@@ -15,11 +15,16 @@ Engines (``--engine``): ``lex-csr`` (default; flat-array CSR kernel),
 ``lex-bulk`` (vectorized numpy bulk kernel — whole-frontier expansion,
 bit-identical results, fastest on large graphs; available when numpy
 is installed), ``lex`` (legacy layered reference), ``perturbed``
-(paper-literal randomized weights).  ``bench --engine all`` times every
-engine on the same workload and reports speedups against the legacy
-``lex`` engine; the process-wide snapshot cache (which lets builders
-share restricted-search results) is cleared before every timed round so
-no engine is measured against another's warm cache.
+(paper-literal randomized weights).  Builders answer their feasibility
+point queries through the batched plan→dedupe→execute pipeline of
+:mod:`repro.core.query_batch` (vectorized multi-pair execution under
+``lex-bulk``; set ``REPRO_QUERY_BATCH=0`` to force per-pair scalar
+queries).  ``bench --engine all`` times every engine on the same
+workload and reports speedups against the legacy ``lex`` engine plus
+the snapshot-cache hit/miss/eviction counters of one cold build; the
+process-wide snapshot cache (which lets builders share
+restricted-search results) is cleared before every timed round so no
+engine is measured against another's warm cache.
 
 Graph specifications (``--graph``)::
 
@@ -226,16 +231,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for engine in engines:
         best = float("inf")
         size = None
+        cache_stats = None
         for _ in range(rounds):
             # Cold-cache timing: without this, later engines would be
             # served from earlier engines' shared snapshot-cache entries
             # and the comparison would measure cache hits, not engines.
             shared_cache().clear()
+            shared_cache().reset_stats()
             t0 = time.perf_counter()
             structure = builder(graph, args.source, args.f, engine)
             best = min(best, time.perf_counter() - t0)
             size = structure.size
-        results.append({"engine": engine, "seconds": best, "structure_size": size})
+            # One cold build's worth of snapshot-cache traffic (each
+            # round starts from clear+reset, so the last capture is
+            # representative, not cumulative).
+            cache_stats = shared_cache().stats()
+        results.append(
+            {
+                "engine": engine,
+                "seconds": best,
+                "structure_size": size,
+                "snapshot_cache": cache_stats,
+            }
+        )
     baseline = next(
         (r["seconds"] for r in results if r["engine"] == "lex"), None
     )
@@ -252,6 +270,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"  {r['engine']:<10s} {1000.0 * r['seconds']:9.1f} ms  "
             f"|H|={r['structure_size']}  {speedup}"
         )
+        cs = r["snapshot_cache"]
+        if cs is not None:
+            total = cs["hits"] + cs["misses"]
+            rate = 100.0 * cs["hits"] / total if total else 0.0
+            print(
+                f"             cache: {cs['hits']} hits / {cs['misses']} "
+                f"misses ({rate:.0f}% hit rate), {cs['evictions']} evicted, "
+                f"{cs['oversize']} oversize, {cs['entries']} live entries"
+            )
     if args.json:
         payload = {
             "builder": args.builder,
@@ -267,7 +294,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    """Run one (or all) of the E1-E14 experiment benchmarks via pytest."""
+    """Run one (or all) of the E1-E16 experiment benchmarks via pytest."""
     import pathlib
 
     import pytest as _pytest
@@ -304,7 +331,11 @@ def make_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=sorted(ENGINES),
         default=DEFAULT_ENGINE,
-        help="canonical shortest-path engine (default: %(default)s)",
+        help=(
+            "canonical shortest-path engine (default: %(default)s); "
+            "feasibility checks run through the batched point-query "
+            "pipeline, vectorized under lex-bulk"
+        ),
     )
     p_build.add_argument("--out", required=True)
     p_build.set_defaults(func=cmd_build)
@@ -358,9 +389,9 @@ def make_parser() -> argparse.ArgumentParser:
     p_bench.set_defaults(func=cmd_bench)
 
     p_exp = sub.add_parser(
-        "experiment", help="run an experiment benchmark (E1..E14 or 'all')"
+        "experiment", help="run an experiment benchmark (E1..E16 or 'all')"
     )
-    p_exp.add_argument("id", help="experiment id, e.g. e1, E7, all")
+    p_exp.add_argument("id", help="experiment id, e.g. e1, E16, all")
     p_exp.set_defaults(func=cmd_experiment)
     return parser
 

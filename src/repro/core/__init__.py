@@ -1,4 +1,14 @@
-"""Core substrate: graphs, paths, canonical shortest paths, BFS trees."""
+"""Core substrate: graphs, paths, canonical shortest paths, BFS trees.
+
+Point queries come in two shapes: scalar (``DistanceOracle.distance``)
+and batch-first (``DistanceOracle.distances_bulk`` and the
+:class:`~repro.core.query_batch.PointQueryBatch` planner from
+``DistanceOracle.batch()``), which plans many feasibility probes,
+deduplicates them against the process-wide snapshot cache, groups them
+by frozen fault set and executes each group in one shot — vectorized
+on the numpy bulk kernel where available.  Builders that issue many
+probes should plan-then-execute; see :mod:`repro.core.query_batch`.
+"""
 
 from repro.core.canonical import (
     DEFAULT_ENGINE,
@@ -20,6 +30,12 @@ from repro.core.canonical import (
     multi_source_distances,
 )
 from repro.core.csr import CSRGraph, csr_of
+from repro.core.query_batch import (
+    LegacyQueryBatch,
+    PointQueryBatch,
+    QueryHandle,
+    batching_enabled,
+)
 from repro.core.snapshot_cache import SnapshotCache, shared_cache
 from repro.core.errors import (
     ConstructionError,
@@ -59,15 +75,19 @@ __all__ = [
     "Edge",
     "Graph",
     "GraphError",
+    "LegacyQueryBatch",
     "LexShortestPaths",
     "Path",
     "PathError",
     "PerturbedShortestPaths",
+    "PointQueryBatch",
     "PythonDistanceOracle",
+    "QueryHandle",
     "ReproError",
     "SearchResult",
     "SnapshotCache",
     "VerificationError",
+    "batching_enabled",
     "bfs_distance",
     "bfs_distances",
     "csr_of",

@@ -68,6 +68,10 @@ from repro.core.graph import Graph
 #: kernel delegates to it wholesale (override: ``REPRO_BULK_MIN_N``).
 DEFAULT_MIN_BULK_N = 512
 
+#: Sentinel distance meaning "the lock-step chunk handed this query
+#: back for scalar execution" (never escapes multi_pair_dists).
+_CUTOVER = -3
+
 
 def _min_bulk_n() -> int:
     try:
@@ -131,6 +135,12 @@ class BulkCSRKernel:
         "_eban",
         "_gen",
         "_ban_gen",
+        # Pooled multi-pair chunk tables (lazy; see _multi_pair_chunk).
+        "_mp_visit",
+        "_mp_dist",
+        "_mp_last",
+        "_mp_eban",
+        "_mp_vban",
     )
 
     def __init__(self, csr: CSRGraph, min_bulk_n: Optional[int] = None) -> None:
@@ -166,6 +176,11 @@ class BulkCSRKernel:
         self._eban = np.full(max(self.m, 1), UNREACHED, dtype=np.int64)
         self._gen = 0
         self._ban_gen = 0
+        self._mp_visit = None
+        self._mp_dist = None
+        self._mp_last = None
+        self._mp_eban = None
+        self._mp_vban = None
 
     # ------------------------------------------------------------------
     # restriction stamping (same contract as CSRGraph)
@@ -378,6 +393,49 @@ class BulkCSRKernel:
             level += 1
             frontier = self._expand(frontier, ban, level, parents=False)
 
+    def multi_target_dists(
+        self, source: int, targets: Sequence[int], ban: Tuple[int, bool, bool]
+    ) -> List[int]:
+        """Hop distances from ``source`` to each target, one shared sweep.
+
+        The vectorized execution path of the batched point-query
+        pipeline (:mod:`repro.core.query_batch`): all pairs of one
+        fault-set group that share a source are answered by a single
+        level-synchronous expansion with *per-pair early exit* — the
+        sweep stops at the end of the level that labels the last
+        still-pending target, so shallow target groups never pay for a
+        full-graph sweep.  First discovery is final in BFS, so every
+        reported distance is exact — bit-identical to per-pair
+        :meth:`repro.core.csr.CSRGraph.bidir_distance` calls.
+
+        Returns raw hops aligned with ``targets`` (``-1`` = cut by the
+        restriction, including vertex-banned endpoints).
+        """
+        if not self.vectorized:
+            return self.csr.bidir_distances(
+                [(source, t) for t in targets], ban
+            )
+        bg, _, have_v = ban
+        gen = self._gen + 1
+        self._gen = gen
+        if have_v and self._vban[source] == bg:
+            return [UNREACHED] * len(targets)
+        visit = self._visit
+        dist = self._dist
+        visit[source] = gen
+        dist[source] = 0
+        tarr = np.asarray(targets, dtype=np.int64)
+        frontier = np.array([source], dtype=np.int32)
+        level = 0
+        while frontier.size:
+            if bool((visit[tarr] == gen).all()):
+                break  # every pair of this group is resolved
+            level += 1
+            frontier = self._expand(frontier, ban, level, parents=False)
+        return [
+            int(dist[t]) if visit[t] == gen else UNREACHED for t in targets
+        ]
+
     def multi_source_dists(
         self, sources: Sequence[int], ban: Tuple[int, bool, bool]
     ) -> List[List[int]]:
@@ -392,6 +450,272 @@ class BulkCSRKernel:
             self.bfs_dists(s, ban)
             out.append(self.distances_list())
         return out
+
+    # ------------------------------------------------------------------
+    # cross-query multi-pair kernel
+    # ------------------------------------------------------------------
+    def multi_pair_dists(
+        self,
+        queries: Sequence[Tuple[int, int, Sequence[int], Sequence[int]]],
+    ) -> List[int]:
+        """Many independent restricted point queries, expanded together.
+
+        ``queries`` are ``(source, target, banned_edge_ids,
+        banned_vertices)`` tuples — each with its *own* restriction,
+        which is what distinguishes this entry point from the
+        shared-stamp APIs: it is the execution path for the residue of
+        a :class:`~repro.core.query_batch.PointQueryBatch` whose fault
+        sets are all distinct (the common shape of ``Cons2FTBFS`` step-3
+        probes), where per-group stamping has nothing left to share.
+
+        Each query runs a meet-in-the-middle search with the same
+        contract as :meth:`repro.core.csr.CSRGraph.bidir_distance` —
+        stop at the end of the first expansion round producing a
+        cross-labeled vertex, return the round's minimum
+        ``dist_s + 1 + dist_t`` candidate — but *all queries advance in
+        lock-step*: one round expands both balls of every still-pending
+        query as a single batch of array operations over flat
+        per-(query, side) label tables.  The exactness argument of
+        :meth:`~repro.core.csr.CSRGraph.bidir_distance` never uses
+        which side expands when — only first-discovery finality and
+        the completed-round minimum — so results are bit-identical to
+        per-pair scalar calls whatever the growth schedule.  Queries
+        are processed in memory-bounded chunks; resolved queries drop
+        out of the working set immediately (per-pair early exit).
+
+        Returns raw hops aligned with ``queries`` (``-1`` = cut).
+        """
+        if not self.vectorized:
+            csr = self.csr
+            out: List[int] = []
+            for source, target, eids, verts in queries:
+                ban = csr.stamp_edge_ids(eids, verts)
+                out.append(csr.bidir_distance(source, target, ban))
+            return out
+        # Chunk so the per-(query, side) label tables stay cache-friendly
+        # — the scalar kernel's n-sized tables live in L1, and the
+        # chunked tables should at least stay within L2/L3 or the
+        # random label gathers dominate (override: REPRO_BATCH_CHUNK).
+        try:
+            chunk = int(os.environ.get("REPRO_BATCH_CHUNK", "0"))
+        except ValueError:
+            chunk = 0
+        if chunk <= 0:
+            chunk = max(64, min(2048, (2 << 20) // max(self.n, 1)))
+        csr = self.csr
+        out = []
+        for lo in range(0, len(queries), chunk):
+            part = queries[lo : lo + chunk]
+            res = self._multi_pair_chunk(part)
+            for i, d in enumerate(res):
+                if d == _CUTOVER:
+                    # Lock-step tail cutover: the chunk retired this
+                    # query to the scalar kernel (see _multi_pair_chunk).
+                    source, target, eids, verts = part[i]
+                    ban = csr.stamp_edge_ids(eids, verts)
+                    res[i] = csr.bidir_distance(source, target, ban)
+            out.extend(res)
+        return out
+
+    def _multi_pair_chunk(self, queries) -> List[int]:
+        """One lock-step chunk of :meth:`multi_pair_dists` (see there).
+
+        Performance notes, mirroring :meth:`_expand`'s: everything runs
+        on int32 flat keys (``vq·n + vertex`` fits comfortably), masks
+        apply via ``compress`` (faster than boolean fancy indexing at
+        this call rate), and the per-round dedupe keeps the *last*
+        occurrence per (ball, vertex) — for distance-only labeling any
+        discoverer yields the same depth, so unlike the parent-tracking
+        kernels no order-preserving reverse scatter is needed.
+        """
+        C = len(queries)
+        n = self.n
+        m = max(self.m, 1)
+        nbr = self._nbr
+        arc_eid = self._arc_eid
+        indptr = self._indptr
+        indptr1 = self._indptr1
+        # Flat per-(virtual query, vertex) tables; virtual query
+        # vq = 2·q + side encodes the two search balls of query q.
+        # Pooled on the kernel: repeated chunks reuse the same pages
+        # instead of fault-mapping ~100 MB of fresh allocations each.
+        if self._mp_visit is None or self._mp_visit.size < 2 * C * n:
+            self._mp_visit = np.zeros(2 * C * n, dtype=bool)
+            self._mp_dist = np.empty(2 * C * n, dtype=np.int32)
+            self._mp_last = np.empty(2 * C * n, dtype=np.int32)
+        if self._mp_eban is None or self._mp_eban.size < C * m:
+            self._mp_eban = np.zeros(C * m, dtype=bool)
+        visitf = self._mp_visit
+        visitf[: 2 * C * n].fill(False)  # previous chunk's labels
+        distf = self._mp_dist  # read only after write
+        lastpos = self._mp_last  # likewise
+        ebanf = self._mp_eban  # kept clean: keys are unset on exit
+        vbanf = None  # populated only when some query bans vertices
+        PENDING = -2
+        res = np.full(C, PENDING, dtype=np.int64)
+        seed_vq: List[int] = []
+        seed_v: List[int] = []
+        seed_visit: List[int] = []
+        eban_keys: List[int] = []
+        vban_keys: List[int] = []
+        for q, (source, target, eids, verts) in enumerate(queries):
+            base_e = q * m
+            for e in eids:
+                eban_keys.append(base_e + e)
+            banned = False
+            if verts:
+                base_v = q * n
+                for v in verts:
+                    vban_keys.append(base_v + v)
+                    banned = banned or v == source or v == target
+            if banned:
+                res[q] = UNREACHED
+            elif source == target:
+                res[q] = 0
+            else:
+                seed_visit.append(2 * q * n + source)
+                seed_visit.append((2 * q + 1) * n + target)
+                seed_vq.extend((2 * q, 2 * q + 1))
+                seed_v.extend((source, target))
+        eban_arr = None
+        if eban_keys:
+            eban_arr = np.array(eban_keys, dtype=np.int64)
+            ebanf[eban_arr] = True
+        vban_arr = None
+        if vban_keys:
+            if self._mp_vban is None or self._mp_vban.size < C * n:
+                self._mp_vban = np.zeros(C * n, dtype=bool)
+            vbanf = self._mp_vban  # kept clean: keys are unset on exit
+            vban_arr = np.array(vban_keys, dtype=np.int64)
+            vbanf[vban_arr] = True
+        seeds = np.array(seed_visit, dtype=np.int64)
+        visitf[seeds] = True
+        distf[seeds] = 0
+        # Two frontier pools — source balls and target balls — expanded
+        # in strict alternation, so each round touches only the
+        # expanding side's entries and the two radii stay balanced (the
+        # scalar kernel's cost shape); any growth schedule is exact.
+        qarrs = np.array(seed_vq, dtype=np.int32) >> 1
+        varrs = np.array(seed_v, dtype=np.int32)
+        pools = [
+            (qarrs[0::2].copy(), varrs[0::2].copy()),
+            (qarrs[1::2].copy(), varrs[1::2].copy()),
+        ]
+        levels = [0, 0]
+        big = np.iinfo(np.int64).max
+        side = 1
+        # Once only a handful of (typically far-apart) queries remain
+        # pending, per-round array dispatch outweighs the work left —
+        # hand the stragglers back for scalar execution.
+        cutover = max(24, C >> 5)
+        while pools[0][0].size and pools[1][0].size:
+            if min(pools[0][0].size, pools[1][0].size) <= cutover < C:
+                pend = res == PENDING
+                if int(pend.sum()) <= cutover:
+                    res[pend] = _CUTOVER
+                    break
+            side ^= 1  # S first, then strict alternation
+            q_f, v_f = pools[side]
+            levels[side] += 1
+            lev = levels[side]
+            starts = indptr.take(v_f)
+            counts = indptr1.take(v_f)
+            counts -= starts
+            total = int(counts.sum())
+            if total:
+                cum = counts.cumsum()
+                np.subtract(starts, cum, out=starts)
+                starts += counts
+                pos = starts.repeat(counts)
+                pos += self._arange_n(total)
+                targets = nbr.take(pos)
+                q_arc = q_f.repeat(counts)
+                karc = q_arc * (2 * n)  # flat key of ball (q, side)
+                if side:
+                    karc += n
+                karc += targets
+                keep = visitf.take(karc)
+                np.logical_not(keep, out=keep)
+                ekeys = q_arc.astype(np.int64)
+                ekeys *= m
+                ekeys += arc_eid.take(pos)
+                keep &= ~ebanf.take(ekeys)
+                if vbanf is not None:
+                    vkeys = q_arc.astype(np.int64)
+                    vkeys *= n
+                    vkeys += targets
+                    keep &= ~vbanf.take(vkeys)
+                kkeep = karc.compress(keep)
+                k = kkeep.size
+            else:
+                k = 0
+            if k:
+                # Dedupe per (ball, vertex): last occurrence wins (every
+                # discoverer in a round implies the same depth, so no
+                # order-preserving reverse scatter is needed here).
+                idx = self._arange_n(k).astype(np.int32)
+                lastpos[kkeep] = idx
+                is_new = lastpos.take(kkeep) == idx
+                knew = kkeep.compress(is_new)
+                q_new = q_arc.compress(keep).compress(is_new)
+                visitf[knew] = True
+                distf[knew] = lev
+                # Cross-label contact: the sibling ball's flat key is
+                # ±n away.  Its labels are exact whenever written, so a
+                # contacted pair yields the candidate dist_a + 1 + dist_b.
+                kother = knew + (-n if side else n)
+                contact = visitf.take(kother)
+                if contact.any():
+                    cand = distf.take(kother.compress(contact)).astype(np.int64)
+                    cand += lev
+                    round_best = np.full(C, big, dtype=np.int64)
+                    np.minimum.at(round_best, q_new.compress(contact), cand)
+                    hit = round_best < big
+                    res[hit] = round_best[hit]
+                    np.logical_not(contact, out=contact)
+                    q_new = q_new.compress(contact)
+                    knew = knew.compress(contact)
+                v_new = knew - q_new * (2 * n)
+                if side:
+                    v_new -= n
+            else:
+                q_new = q_f[:0]
+                v_new = v_f[:0]
+            # Per-pair early exit: retire queries whose expanded ball
+            # just went extinct (the scalar `while frontier_s and
+            # frontier_t`), then purge resolved/retired queries from
+            # both pools.
+            pending = res == PENDING
+            sizes = np.bincount(q_new, minlength=C)
+            extinct = pending & (sizes == 0)
+            if extinct.any():
+                res[extinct] = UNREACHED
+                pending &= ~extinct
+            if q_new.size:
+                alive = pending.take(q_new)
+                q_new = q_new.compress(alive)
+                v_new = v_new.compress(alive)
+            pools[side] = (q_new, v_new)
+            q_o, v_o = pools[side ^ 1]
+            if q_o.size:
+                alive = pending.take(q_o)
+                pools[side ^ 1] = (q_o.compress(alive), v_o.compress(alive))
+        # Leave the pooled ban tables clean for the next chunk.
+        if eban_arr is not None:
+            ebanf[eban_arr] = False
+        if vban_arr is not None:
+            vbanf[vban_arr] = False
+        res[res == PENDING] = UNREACHED
+        return [int(r) for r in res]
+
+    def _arange_n(self, k: int) -> np.ndarray:
+        """The first ``k`` entries of the pooled arange (grown on demand)."""
+        buf = self._arange
+        if k > buf.size:
+            self._arange = buf = np.arange(
+                max(k, 2 * buf.size), dtype=np.int64
+            )
+        return buf[:k]
 
     # ------------------------------------------------------------------
     # reading out results

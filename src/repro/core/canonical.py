@@ -68,6 +68,18 @@ sibling :class:`BulkDistanceOracle`, the batched
 workloads, and the one-shot helpers :func:`bfs_distances` /
 :func:`bfs_distance`.
 
+Point queries additionally come in a *batch-first* shape: every oracle
+family answers :meth:`DistanceOracle.distances_bulk` (many pairs, one
+restriction, one ban stamping) and hands out a
+:meth:`DistanceOracle.batch` planner
+(:class:`~repro.core.query_batch.PointQueryBatch`) that deduplicates
+heterogeneous feasibility probes, groups them by frozen fault set, and
+executes each group in one shot — vectorized shared-level sweeps on
+the numpy kernel under :class:`BulkDistanceOracle`, a pooled scalar
+loop otherwise.  Converted consumers (``Cons2FTBFS``, sensitivity
+oracles, replacement-path selection) plan their probes first and
+execute once; see :mod:`repro.core.query_batch`.
+
 Memoization of search results and point/vector distance queries lives
 in the process-wide :mod:`repro.core.snapshot_cache`: entries are keyed
 on the graph's CSR snapshot (hence its mutation version) plus the
@@ -80,6 +92,7 @@ the equivalence tests always compare independently computed results.
 
 from __future__ import annotations
 
+import os
 import random
 from collections import deque
 from heapq import heappop, heappush
@@ -89,6 +102,7 @@ from repro.core.csr import CSRGraph, csr_of
 from repro.core.errors import DisconnectedError, GraphError
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.paths import Path, path_from_parents
+from repro.core.query_batch import LegacyQueryBatch, PointQueryBatch
 from repro.core.snapshot_cache import SnapshotCache, shared_cache
 
 try:  # The bulk kernel needs numpy; everything else must work without.
@@ -184,6 +198,12 @@ class CSRLexShortestPaths:
 
     name = "lex-csr"
 
+    #: Memory budget (total ints, counting each SearchResult as its two
+    #: n-length vectors) for the search memo namespace — entry-count
+    #: limits alone let n-sized results grow unbounded on large graphs.
+    #: Override with ``REPRO_SEARCH_CACHE_INTS``.
+    SEARCH_CACHE_INTS = 16_000_000
+
     def __init__(
         self,
         graph: Graph,
@@ -267,6 +287,13 @@ class CSRLexShortestPaths:
         )
         cache = self._cache
         ns = self._search_ns
+        weight = 2 * csr.n  # each result holds two n-length vectors
+        try:
+            weight_limit = int(
+                os.environ.get("REPRO_SEARCH_CACHE_INTS", self.SEARCH_CACHE_INTS)
+            )
+        except ValueError:
+            weight_limit = self.SEARCH_CACHE_INTS
         entry = cache.get(csr, ns, key)
         if entry is not None:
             res, complete = entry
@@ -274,13 +301,29 @@ class CSRLexShortestPaths:
                 return res
             # Second request needing deeper coverage: promote to full.
             res = self._run(csr, source, eids, verts, None)
-            cache.put(csr, ns, key, (res, True), limit=self._cache_size)
+            cache.put(
+                csr,
+                ns,
+                key,
+                (res, True),
+                limit=self._cache_size,
+                weight=weight,
+                weight_limit=weight_limit,
+            )
             return res
         res = self._run(csr, source, eids, verts, target)
         # A target search that exhausted the graph (target unreachable)
         # is a complete search.
         complete = target is None or not res.reached(target)
-        cache.put(csr, ns, key, (res, complete), limit=self._cache_size)
+        cache.put(
+            csr,
+            ns,
+            key,
+            (res, complete),
+            limit=self._cache_size,
+            weight=weight,
+            weight_limit=weight_limit,
+        )
         return res
 
     def canonical_path(
@@ -587,6 +630,10 @@ class DistanceOracle:
     #: Full distance vectors are n ints each, so their namespace gets a
     #: smaller overflow limit than scalar point entries.
     VEC_CACHE_LIMIT = 8_192
+    #: Memory budget (total ints) for the vector namespace — the entry
+    #: count limit alone would still let n-sized vectors grow unbounded
+    #: on large graphs.  Override with ``REPRO_VEC_CACHE_INTS``.
+    VEC_CACHE_INTS = 8_000_000
 
     def __init__(
         self,
@@ -618,6 +665,50 @@ class DistanceOracle:
         eids.sort()
         verts = sorted(set(banned_vertices)) if banned_vertices else []
         return eids, verts
+
+    def _vec_weight_limit(self) -> int:
+        try:
+            return int(
+                os.environ.get("REPRO_VEC_CACHE_INTS", self.VEC_CACHE_INTS)
+            )
+        except ValueError:
+            return self.VEC_CACHE_INTS
+
+    def batch(self) -> PointQueryBatch:
+        """A fresh point-query planner bound to this oracle.
+
+        Plan feasibility probes with
+        :meth:`~repro.core.query_batch.PointQueryBatch.add`, then
+        :meth:`~repro.core.query_batch.PointQueryBatch.execute` once —
+        requests are deduplicated against each other and the snapshot
+        cache, grouped by frozen fault set, and each group runs in one
+        shot on this oracle's kernel (see
+        :mod:`repro.core.query_batch`).
+        """
+        return PointQueryBatch(self)
+
+    def distances_bulk(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> List[float]:
+        """Hop distances for many ``(source, target)`` pairs, one restriction.
+
+        The batch-first sibling of :meth:`distance`: the restriction is
+        frozen and stamped once for the whole group, duplicate pairs
+        and memoized answers cost a lookup, and the remaining pairs run
+        as one multi-pair kernel execution.  Returns values aligned
+        with ``pairs``, ``inf`` where the restriction cuts a pair —
+        element-for-element identical to per-pair :meth:`distance`
+        calls.
+        """
+        batch = PointQueryBatch(self)
+        be = tuple(banned_edges)
+        bv = tuple(banned_vertices)
+        for s, t in pairs:
+            batch.add(s, t, be, bv)
+        return [INF if h == UNREACHED else h for h in batch.execute()]
 
     def distance(
         self,
@@ -662,7 +753,15 @@ class DistanceOracle:
             kernel = self._sweep_kernel(csr)
             kernel.bfs_dists(source, kernel.stamp_edge_ids(eids, verts))
             vec = kernel.distances_list()
-            cache.put(csr, self._VEC_NS, key, vec, limit=self.VEC_CACHE_LIMIT)
+            cache.put(
+                csr,
+                self._VEC_NS,
+                key,
+                vec,
+                limit=self.VEC_CACHE_LIMIT,
+                weight=len(vec),
+                weight_limit=self._vec_weight_limit(),
+            )
         return list(vec)
 
     def multi_source_distances(
@@ -695,7 +794,15 @@ class DistanceOracle:
                     ban = kernel.stamp_edge_ids(eids, verts)
                 kernel.bfs_dists(s, ban)
                 vec = kernel.distances_list()
-                cache.put(csr, self._VEC_NS, key, vec, limit=self.VEC_CACHE_LIMIT)
+                cache.put(
+                    csr,
+                    self._VEC_NS,
+                    key,
+                    vec,
+                    limit=self.VEC_CACHE_LIMIT,
+                    weight=len(vec),
+                    weight_limit=self._vec_weight_limit(),
+                )
             out.append(list(vec))
         return out
 
@@ -766,6 +873,28 @@ class PythonDistanceOracle:
         """Hop distance source→target under a restriction (inf if cut)."""
         d = self._run(source, banned_edges, banned_vertices, target)
         return INF if d is None else d
+
+    def batch(self) -> LegacyQueryBatch:
+        """A planner with the shared batch surface (dedupe-only here).
+
+        Converted consumers plan against any oracle family; the legacy
+        family answers each unique request with one scalar query, which
+        is exactly the pre-kernel behavior the ``lex`` reference arm
+        must preserve.
+        """
+        return LegacyQueryBatch(self)
+
+    def distances_bulk(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> List[float]:
+        """Per-pair scalar queries behind the batch-first signature."""
+        return [
+            self.distance(s, t, banned_edges, banned_vertices)
+            for s, t in pairs
+        ]
 
     def distances_from(
         self,

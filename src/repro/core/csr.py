@@ -595,3 +595,20 @@ class CSRGraph:
             else:
                 frontier_t = nxt
         return UNREACHED
+
+    def bidir_distances(
+        self, pairs: Sequence[Tuple[int, int]], ban: Tuple[int, bool, bool]
+    ) -> List[int]:
+        """Pooled multi-pair point queries under one shared restriction.
+
+        The scalar execution path of the batched point-query pipeline
+        (:mod:`repro.core.query_batch`): the caller stamps the
+        restriction once (pooling invariant 2) and every ``(source,
+        target)`` pair is answered by :meth:`bidir_distance` against
+        that single stamp — one ban normalization for the whole group
+        instead of one per pair.  Returns raw hop distances aligned
+        with ``pairs`` (``-1`` = cut).  Bit-identical to per-pair
+        :meth:`bidir_distance` calls by construction.
+        """
+        bidir = self.bidir_distance
+        return [bidir(s, t, ban) for s, t in pairs]

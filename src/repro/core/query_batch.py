@@ -1,0 +1,695 @@
+"""Batched point-query pipeline: plan → dedupe → grouped multi-pair execution.
+
+The constructions in the paper decide feasibility by asking, for
+thousands of ``(source, target, fault set)`` triples, whether a
+replacement path of a given length exists.  The scalar path answers
+each triple independently: normalize the restriction, stamp it, run a
+bidirectional BFS.  That repeats two kinds of work the triples share —
+restriction normalization/stamping (many triples carry the *same*
+frozen fault set) and traversal (triples with one fault set and one
+source differ only in their target).  This module removes both by
+making *the batch* the unit of work:
+
+**Plan.**  A :class:`PointQueryBatch` accumulates point-query requests
+without executing anything; each :meth:`~PointQueryBatch.add` returns a
+:class:`QueryHandle` that will carry the answer after
+:meth:`~PointQueryBatch.execute`.  Consumers are rewritten in
+plan-then-execute style: first walk their candidate space recording
+every feasibility probe, then execute once, then consume the answers
+(see :mod:`repro.ftbfs.cons2ftbfs` for the flagship conversion).
+
+**Dedupe.**  ``execute`` freezes every request into the same
+restriction key the scalar oracle uses (sorted banned edge ids +
+sorted banned vertices), collapses duplicate requests onto one slot,
+and answers whatever it can from the process-wide snapshot cache —
+requests repeated across batches, builders, or scalar queries cost a
+dict lookup, never a traversal.
+
+**Grouped execution.**  Remaining misses are grouped by (source,
+frozen restriction) and each group is answered by the cheapest
+applicable strategy:
+
+* **tree repair** (:class:`_TreeRepair`) — for edge-only restrictions,
+  only the subtrees hanging below the faulted tree edges can change
+  distance; one bucketed mini-BFS over that region, seeded across its
+  boundary with base depths, answers *every* target of the group.  The
+  per-source context (one full BFS) and per-fault regions are cached,
+  so on the Cons2FTBFS workload most probes cost a few dozen list
+  operations;
+* **shared sweeps** — a group with many pending targets from one
+  source runs one level-synchronous sweep with per-pair early exit
+  (:meth:`~repro.core.bulk.BulkCSRKernel.multi_target_dists`), one ban
+  stamping for the whole group;
+* **cross-query multi-pair kernel**
+  (:meth:`~repro.core.bulk.BulkCSRKernel.multi_pair_dists`) — the
+  residue of distinct-fault-set pairs advances in lock-step as flat
+  numpy batches over per-(query, side) label tables, with a scalar
+  tail cutover once only stragglers remain;
+* **pooled scalar fallback**
+  (:meth:`repro.core.csr.CSRGraph.bidir_distances`) — small residues
+  and numpy-less installs, still one ban stamping per restriction.
+
+Every strategy computes exact hop distances, so results are
+bit-identical to per-pair
+:meth:`repro.core.csr.CSRGraph.bidir_distance` calls (property-tested
+across all engines by ``tests/test_query_batch.py``).  Answers are
+written back to the snapshot cache under the owning oracle's point
+namespace, so scalar and batched queries share one memo.
+
+Entry points: :meth:`repro.core.canonical.DistanceOracle.batch` /
+:meth:`~repro.core.canonical.DistanceOracle.distances_bulk` (and the
+bulk-oracle overrides), :meth:`repro.replacement.base.SourceContext.query_batch`,
+and :meth:`repro.ftbfs.oracle.FTQueryOracle.distances_bulk`.  The
+legacy :class:`~repro.core.canonical.PythonDistanceOracle` answers the
+same planner API through :class:`LegacyQueryBatch` (dedupe only), so
+``--engine lex`` keeps reproducing the pre-kernel behavior end to end.
+
+Environment knobs:
+
+``REPRO_QUERY_BATCH``
+    ``0`` disables batched execution in the converted builders (they
+    fall back to per-pair scalar queries); used by the E16 benchmark to
+    time the scalar arm.  Default ``1``.
+``REPRO_BATCH_SWEEP_MIN``
+    Minimum pending targets per (fault set, source) sub-group before a
+    shared sweep is preferred over the pair kernel (default ``16``).
+``REPRO_BATCH_PAIR_MIN``
+    Minimum residual pair count before the cross-query multi-pair
+    kernel is preferred over the pooled scalar loop (default ``24``).
+``REPRO_BATCH_REPAIR_MAX``
+    Per-query region budget for the tree-repair strategy (default
+    ``16``; a k-target group affords a k-times-larger region).
+``REPRO_BATCH_CHUNK``
+    Multi-pair kernel chunk size override (default: cache-driven).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+UNREACHED = -1
+INF = float("inf")
+
+#: Default for ``REPRO_BATCH_SWEEP_MIN`` (see module docstring).  A
+#: shared early-exit sweep costs a few hundred microseconds of
+#: per-level array dispatch, so it needs a sizable target group before
+#: it beats handing the pairs to the cross-query multi-pair kernel
+#: (~15 µs/pair); large groups arise for deep trees and multi-source
+#: workloads, small ones go to the pair kernel.
+DEFAULT_SWEEP_MIN_TARGETS = 16
+#: Default for ``REPRO_BATCH_PAIR_MIN``: minimum residual pair count
+#: before the cross-query multi-pair kernel beats scalar bidirectional
+#: queries (per-chunk numpy fixed costs dominate below it).
+DEFAULT_PAIR_MIN = 24
+
+
+def sweep_min_targets() -> int:
+    """Pending targets per (fault set, source) sub-group that justify a
+    vectorized shared sweep (``REPRO_BATCH_SWEEP_MIN``)."""
+    try:
+        return int(
+            os.environ.get("REPRO_BATCH_SWEEP_MIN", DEFAULT_SWEEP_MIN_TARGETS)
+        )
+    except ValueError:
+        return DEFAULT_SWEEP_MIN_TARGETS
+
+
+def pair_min() -> int:
+    """Residual pair count that justifies the cross-query multi-pair
+    kernel (``REPRO_BATCH_PAIR_MIN``)."""
+    try:
+        return int(os.environ.get("REPRO_BATCH_PAIR_MIN", DEFAULT_PAIR_MIN))
+    except ValueError:
+        return DEFAULT_PAIR_MIN
+
+
+#: Largest affected region the tree-repair fast path will handle before
+#: deferring to the traversal kernels (``REPRO_BATCH_REPAIR_MAX``).
+#: Crossover vs the multi-pair kernel: repair costs ~region·degree list
+#: operations, the kernel ~12 µs/query — small regions win big, large
+#: regions are better traversed.  The budget is per query: a group of k
+#: same-fault-set targets affords a k-times-larger region.
+DEFAULT_REPAIR_MAX_REGION = 16
+
+
+def repair_max_region() -> int:
+    """Region-size cap for the tree-repair executor strategy."""
+    try:
+        return int(
+            os.environ.get("REPRO_BATCH_REPAIR_MAX", DEFAULT_REPAIR_MAX_REGION)
+        )
+    except ValueError:
+        return DEFAULT_REPAIR_MAX_REGION
+
+
+class _TreeRepair:
+    """Per-(snapshot, source) context for repair-based point queries.
+
+    For an edge-only restriction ``F``, ``dist(s, w, G \\ F)`` equals
+    the unfaulted ``depth(w)`` for every ``w`` whose BFS-tree path from
+    ``s`` avoids ``F`` — banning edges only removes paths, and the tree
+    path survives.  The only vertices whose distance can change are the
+    *affected region*: the union of the subtrees hanging below the
+    faulted tree edges (non-tree faults affect nobody).  A point query
+    therefore collapses to a bucketed mini-Dijkstra over that region,
+    seeded across its boundary with ``depth(u) + 1`` labels (exact:
+    every path enters the region through such an arc, and region exits
+    re-enter through another seed).  On the Cons2FTBFS workload regions
+    average a handful of vertices, so one query costs a few dozen list
+    operations — far below even the pooled bidirectional search.
+
+    Building the context costs one full canonical BFS (depth + parents
+    + children + tree-edge ids); it is cached per (CSR snapshot,
+    source) in the process-wide snapshot cache, which is what makes
+    this a *batch* strategy — a planner with thousands of same-source
+    probes amortizes it to noise.  Results are bit-identical to
+    :meth:`repro.core.csr.CSRGraph.bidir_distance` (both are exact).
+    """
+
+    __slots__ = (
+        "arcs",
+        "source",
+        "depth",
+        "children",
+        "child_of_eid",
+        "subtree_size",
+        "_mark",
+        "_label",
+        "_gen",
+        "_regions",
+    )
+
+    def __init__(self, csr, source: int) -> None:
+        # Hold only the iteration view, never the snapshot object: the
+        # context is cached in the snapshot-keyed weak table, and a
+        # strong value→key reference would keep retired snapshots (and
+        # their whole memo tables) alive forever.
+        self.arcs = csr.arcs
+        self.source = source
+        csr.bfs(source, csr.stamp_edge_ids((), ()))
+        depth, parent = csr.collect()
+        self.depth = depth
+        n = csr.n
+        children: List[List[int]] = [[] for _ in range(n)]
+        child_of_eid: Dict[int, int] = {}
+        eidx = csr.edge_index
+        order = []  # reachable vertices in BFS-depth order
+        for w in range(n):
+            p = parent[w]
+            if w == source or p == UNREACHED or p == w:
+                continue
+            children[p].append(w)
+            child_of_eid[eidx[(p, w) if p < w else (w, p)]] = w
+            order.append(w)
+        self.children = children
+        self.child_of_eid = child_of_eid
+        # |subtree(w)| lets query() reject oversized regions in O(1)
+        # before walking anything (children before parents = reverse
+        # depth order).
+        size = [1] * n
+        order.sort(key=depth.__getitem__, reverse=True)
+        for w in order:
+            size[parent[w]] += size[w]
+        self.subtree_size = size
+        # Stamped scratch (same trick as the CSR kernel): region marks
+        # and distance labels are valid only for the current generation.
+        self._mark = [0] * n
+        self._label = [0] * n
+        self._gen = 0
+        # roots tuple → region vertex list; fault pairs sharing a tree
+        # fault (every step-3 probe of one π-edge) share their region.
+        self._regions: Dict[Tuple[int, ...], List[int]] = {}
+
+    def _region(self, roots: Tuple[int, ...]) -> List[int]:
+        region = self._regions.get(roots)
+        if region is None:
+            children = self.children
+            seen = set()
+            region = []
+            for r in roots:
+                if r in seen:
+                    continue
+                stack = [r]
+                while stack:
+                    w = stack.pop()
+                    if w in seen:
+                        continue
+                    seen.add(w)
+                    region.append(w)
+                    stack.extend(children[w])
+            if len(self._regions) >= 8192:
+                self._regions.clear()
+            self._regions[roots] = region
+        return region
+
+    def query_many(
+        self, targets: Sequence[int], eids: Sequence[int], limit: int
+    ) -> Optional[List[int]]:
+        """``dist(source, t, G \\ eids)`` for each target, or ``None``.
+
+        One region walk + one seeded mini-BFS answers *every* target of
+        the fault set (the labels cover the whole affected region), so
+        a multi-target group costs the same as a single probe.
+        ``None`` defers to the traversal kernels when the region
+        outgrows ``limit``; all returned values are exact raw hops.
+        """
+        depth = self.depth
+        child_of_eid = self.child_of_eid
+        roots = tuple(
+            sorted(child_of_eid[e] for e in eids if e in child_of_eid)
+        )
+        if not roots:
+            # no fault touches the tree: every tree path survives
+            return [depth[t] for t in targets]
+        if sum(self.subtree_size[r] for r in roots) > limit:
+            return None  # cheap upper bound (roots may nest, sum ≥ |region|)
+        region = self._region(roots)
+        gen = self._gen + 1
+        self._gen = gen
+        mark = self._mark
+        for w in region:
+            mark[w] = gen
+        if all(mark[t] != gen for t in targets):
+            return [depth[t] for t in targets]
+        banned = tuple(eids)
+        arcs = self.arcs
+        label = self._label
+        # Boundary seeds: cheapest entry arc per region vertex; labels
+        # are exact entry distances, relaxed below by a bucketed BFS
+        # (unit weights, so per-distance frontier lists suffice).
+        seeds: Dict[int, List[int]] = {}
+        for w in region:
+            best = -1
+            for u, e in arcs[w]:
+                if mark[u] == gen or e in banned:
+                    continue
+                du = depth[u]
+                if du != UNREACHED and (best < 0 or du + 1 < best):
+                    best = du + 1
+            label[w] = best
+            if best >= 0:
+                seeds.setdefault(best, []).append(w)
+        if seeds:
+            d = min(seeds)
+            frontier = seeds.pop(d)
+            while frontier or seeds:
+                if not frontier:
+                    d = min(seeds)
+                    frontier = seeds.pop(d)
+                    continue
+                nd = d + 1
+                nxt_frontier: List[int] = []
+                for w in frontier:
+                    if label[w] != d:
+                        continue  # relabeled cheaper since queued
+                    for u, e in arcs[w]:
+                        if mark[u] != gen or e in banned:
+                            continue
+                        lu = label[u]
+                        if lu < 0 or lu > nd:
+                            label[u] = nd
+                            nxt_frontier.append(u)
+                pend = seeds.pop(nd, None)
+                if pend is not None:
+                    nxt_frontier.extend(pend)
+                frontier = nxt_frontier
+                d = nd
+        return [
+            (label[t] if mark[t] == gen else depth[t]) for t in targets
+        ]
+
+
+def batching_enabled() -> bool:
+    """False iff ``REPRO_QUERY_BATCH=0`` — the scalar-arm switch used by
+    the E16 benchmark and as an operational escape hatch."""
+    return os.environ.get("REPRO_QUERY_BATCH", "1") != "0"
+
+
+class QueryHandle:
+    """The (future) answer to one planned point query.
+
+    ``hops`` is ``None`` until the owning batch executes, then the raw
+    hop distance (``-1`` when the restriction cuts the pair).
+    :attr:`distance` is the ``inf``-style convenience view matching
+    :meth:`repro.core.canonical.DistanceOracle.distance`.
+    """
+
+    __slots__ = ("hops",)
+
+    def __init__(self) -> None:
+        self.hops: Optional[int] = None
+
+    @classmethod
+    def resolved(cls, hops: int) -> "QueryHandle":
+        """A pre-answered handle — used by planners that resolve a probe
+        from structure they already hold (e.g. an already-computed
+        replacement path certifying the distance) without any query."""
+        handle = cls()
+        handle.hops = hops
+        return handle
+
+    @property
+    def distance(self) -> float:
+        """``inf``-style hop distance, matching ``oracle.distance``'s
+        return convention exactly; requires the batch to have executed."""
+        if self.hops is None:
+            raise RuntimeError("query batch not executed yet")
+        return INF if self.hops == UNREACHED else self.hops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryHandle(hops={self.hops})"
+
+
+class PointQueryBatch:
+    """Planner for kernel-backed oracles (see module docstring).
+
+    Bound to one :class:`~repro.core.canonical.DistanceOracle` (or
+    subclass): restriction freezing, memo namespace and kernel choice
+    all follow the owning oracle, so batched and scalar queries on the
+    same oracle family agree on keys and share cached answers.
+    """
+
+    __slots__ = ("_oracle", "_requests", "_executed", "_stats")
+
+    def __init__(self, oracle) -> None:
+        self._oracle = oracle
+        # (source, target, banned_edges, banned_vertices, handle)
+        self._requests: List[Tuple] = []
+        self._executed = 0
+        self._stats = {
+            "queries": 0,
+            "unique": 0,
+            "cached": 0,
+            "repaired": 0,
+            "swept": 0,
+            "paired": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cumulative planner counters: ``queries`` planned, ``unique``
+        after dedupe, ``cached`` answered from the snapshot cache,
+        ``repaired`` answered by the tree-repair fast path, ``swept``
+        answered by vectorized shared sweeps, ``paired`` answered by
+        the cross-query multi-pair kernel."""
+        return dict(self._stats)
+
+    def add(
+        self,
+        source: int,
+        target: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> QueryHandle:
+        """Plan ``dist(source, target, G \\ restriction)``; nothing runs
+        until :meth:`execute`."""
+        handle = QueryHandle()
+        self._requests.append(
+            (source, target, tuple(banned_edges), tuple(banned_vertices), handle)
+        )
+        return handle
+
+    def execute(self) -> List[int]:
+        """Resolve every pending request; returns hops in plan order.
+
+        Dedupes requests against each other and the snapshot cache,
+        groups the misses by frozen restriction, and executes each
+        group in one shot (one ban stamping; vectorized shared sweeps
+        where the numpy kernel and group shape allow).  Handles from
+        :meth:`add` are filled in place; the batch is then empty and
+        reusable.
+        """
+        requests, self._requests = self._requests, []
+        if not requests:
+            return []
+        oracle = self._oracle
+        csr = oracle._snapshot()
+        cache = oracle._cache
+        ns = oracle._PT_NS
+        limit = oracle._cache_size
+        n = csr.n
+        st = self._stats
+        st["queries"] += len(requests)
+
+        # -- dedupe + memo probe, one pass ----------------------------
+        # Restriction freezing is inlined for the dominant shapes (one
+        # or two banned edges, no banned vertices — every Cons2FTBFS
+        # feasibility probe) and must stay byte-compatible with
+        # DistanceOracle._restriction: sorted resolved edge ids with
+        # duplicates kept, sorted deduplicated vertices.
+        nsd = cache.namespace(csr, ns)  # bulk access; bookkeeping below
+        eidx = csr.edge_index
+        eidx_get = eidx.get
+        slot_of: Dict[Tuple, int] = {}
+        unique: List[Tuple] = []  # (source, target, ekey, vkey, key)
+        slots: List[int] = []  # per request, its unique slot
+        results: List[Optional[int]] = []
+        misses: List[int] = []
+        cache_hits = 0
+        for source, target, be, bv, _handle in requests:
+            if bv:
+                eids, verts = oracle._restriction(csr, be, bv)
+                ekey = tuple(eids)
+                vkey = tuple(verts)
+            else:
+                vkey = ()
+                if len(be) == 2:
+                    e0, e1 = be
+                    a, b = e0[0], e0[1]
+                    i = eidx_get((a, b) if a < b else (b, a))
+                    a, b = e1[0], e1[1]
+                    j = eidx_get((a, b) if a < b else (b, a))
+                    if i is None:
+                        ekey = () if j is None else (j,)
+                    elif j is None:
+                        ekey = (i,)
+                    else:
+                        ekey = (i, j) if i <= j else (j, i)
+                elif len(be) == 1:
+                    a, b = be[0][0], be[0][1]
+                    i = eidx_get((a, b) if a < b else (b, a))
+                    ekey = () if i is None else (i,)
+                elif not be:
+                    ekey = ()
+                else:
+                    eids = csr.resolve_edge_ids(be)
+                    eids.sort()
+                    ekey = tuple(eids)
+            key = (source, target, ekey, vkey)
+            slot = slot_of.get(key)
+            if slot is None:
+                slot = len(unique)
+                slot_of[key] = slot
+                unique.append((source, target, ekey, vkey, key))
+                hit = nsd.get(key)
+                if hit is not None:
+                    results.append(hit)
+                    cache_hits += 1
+                elif not (0 <= target < n):
+                    # match DistanceOracle.distance's "never found"
+                    results.append(UNREACHED)
+                    misses.append(slot)
+                else:
+                    results.append(None)
+                    misses.append(slot)
+            slots.append(slot)
+        st["unique"] += len(unique)
+        st["cached"] += cache_hits
+        cache.hits += cache_hits
+        cache.misses += len(unique) - cache_hits
+        # out-of-range targets were answered inline; drop them from the
+        # execution plan but keep them in `misses` for the cache fill.
+        pending = [slot for slot in misses if results[slot] is None]
+
+        # -- group misses by (source, frozen restriction): the executor
+        # strategies all amortize per group.
+        by_restriction: Dict[Tuple, List[int]] = {}
+        eligible: Dict[int, int] = {}
+        for slot in pending:
+            source, _t, ekey, vkey, _k = unique[slot]
+            by_restriction.setdefault((source, ekey, vkey), []).append(slot)
+            if not vkey and 0 <= source < n:
+                eligible[source] = eligible.get(source, 0) + 1
+
+        # -- tree-repair fast path: an edge-only restriction collapses
+        # to one mini search over the subtrees below its faulted tree
+        # edges, answering every target of the group (see _TreeRepair);
+        # the per-source context is amortized across the batch and
+        # cached on the snapshot.
+        groups: Dict[Tuple, List[int]] = {}
+        repairs: Dict[int, Optional[_TreeRepair]] = {}
+        repair_ns = "repair:" + ns
+        repair_limit = repair_max_region()
+        for (source, ekey, vkey), group_slots in by_restriction.items():
+            answers = None
+            if not vkey and 0 <= source < n:
+                repair = repairs.get(source)
+                if repair is None and source not in repairs:
+                    repair = cache.get(csr, repair_ns, source)
+                    if repair is None and eligible[source] >= 4:
+                        # The context costs one full BFS — only worth
+                        # building when this batch amortizes it (it is
+                        # then cached for every later batch).
+                        repair = _TreeRepair(csr, source)
+                        cache.put(csr, repair_ns, source, repair, limit=64)
+                    repairs[source] = repair
+                if repair is not None:
+                    targets = [unique[slot][1] for slot in group_slots]
+                    # The region walk is shared by the whole group, so
+                    # the affordable region grows with the group size
+                    # (the cap is a per-query budget).
+                    answers = repair.query_many(
+                        targets, ekey, repair_limit * len(group_slots)
+                    )
+            if answers is not None:
+                for slot, answer in zip(group_slots, answers):
+                    results[slot] = answer
+                st["repaired"] += len(group_slots)
+            else:
+                groups.setdefault((ekey, vkey), []).extend(group_slots)
+
+        # -- grouped execution (one stamping per frozen fault set) ----
+        kernel = oracle._sweep_kernel(csr)
+        vectorized = getattr(kernel, "vectorized", False)
+        min_targets = sweep_min_targets()
+        residual: List[int] = []
+        for (ekey, vkey), group_slots in groups.items():
+            if len(group_slots) < min_targets:
+                residual.extend(group_slots)  # too small for any sweep
+                continue
+            residual.extend(
+                self._execute_group_sweeps(
+                    csr, kernel, vectorized, ekey, vkey, group_slots, unique, results
+                )
+            )
+
+        # -- residual: distinct-restriction pairs with nothing left to
+        # share — the cross-query multi-pair kernel expands them in
+        # lock-step; small residues (or python-kernel oracles) loop the
+        # pooled scalar query, one stamping per restriction.
+        if residual:
+            if (
+                vectorized
+                and hasattr(kernel, "multi_pair_dists")
+                and len(residual) >= pair_min()
+            ):
+                queries = [
+                    (unique[slot][0], unique[slot][1], unique[slot][2], unique[slot][3])
+                    for slot in residual
+                ]
+                for slot, d in zip(residual, kernel.multi_pair_dists(queries)):
+                    results[slot] = d
+                st["paired"] += len(residual)
+            else:
+                regroup: Dict[Tuple, List[int]] = {}
+                for slot in residual:
+                    _s, _t, ekey, vkey, _key = unique[slot]
+                    regroup.setdefault((ekey, vkey), []).append(slot)
+                for (ekey, vkey), group_slots in regroup.items():
+                    ban = csr.stamp_edge_ids(list(ekey), list(vkey))
+                    pairs = [
+                        (unique[slot][0], unique[slot][1]) for slot in group_slots
+                    ]
+                    for slot, d in zip(
+                        group_slots, csr.bidir_distances(pairs, ban)
+                    ):
+                        results[slot] = d
+
+        if misses:
+            cache.bulk_evict(nsd, limit)
+            for slot in misses:
+                nsd[unique[slot][4]] = results[slot]
+
+        out: List[int] = []
+        for (_s, _t, _be, _bv, handle), slot in zip(requests, slots):
+            handle.hops = results[slot]
+            out.append(handle.hops)
+        self._executed += len(requests)
+        return out
+
+    # ------------------------------------------------------------------
+    def _execute_group_sweeps(
+        self, csr, kernel, vectorized, ekey, vkey, group_slots, unique, results
+    ) -> List[int]:
+        """Run one frozen-restriction group's shared sweeps.
+
+        Sub-groups the pairs by source and answers every source with
+        enough pending targets via one early-exit shared sweep (one ban
+        stamping for the whole group).  Returns the slots it did *not*
+        answer — the residue handed to the multi-pair kernel.
+        """
+        if not (vectorized and hasattr(kernel, "multi_target_dists")):
+            return group_slots
+        by_source: Dict[int, List[int]] = {}
+        for slot in group_slots:
+            by_source.setdefault(unique[slot][0], []).append(slot)
+        min_targets = sweep_min_targets()
+        residual: List[int] = []
+        ban = None
+        for source, source_slots in by_source.items():
+            if len(source_slots) < min_targets:
+                residual.extend(source_slots)
+                continue
+            if ban is None:  # one stamping serves every sweep
+                ban = kernel.stamp_edge_ids(list(ekey), list(vkey))
+            targets = [unique[slot][1] for slot in source_slots]
+            dists = kernel.multi_target_dists(source, targets, ban)
+            for slot, d in zip(source_slots, dists):
+                results[slot] = d
+            self._stats["swept"] += len(source_slots)
+        return residual
+
+
+class LegacyQueryBatch:
+    """Planner over the legacy pure-python oracle: dedupe, then loop.
+
+    Gives :class:`~repro.core.canonical.PythonDistanceOracle` the same
+    planner surface as the kernel oracles, so converted consumers run
+    unchanged under ``--engine lex`` — each unique request is answered
+    by one scalar ``oracle.distance`` call (the pre-kernel behavior the
+    reference arm exists to preserve), duplicates are answered once.
+    """
+
+    __slots__ = ("_oracle", "_requests")
+
+    def __init__(self, oracle) -> None:
+        self._oracle = oracle
+        self._requests: List[Tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def add(
+        self,
+        source: int,
+        target: int,
+        banned_edges: Iterable[Sequence[int]] = (),
+        banned_vertices: Iterable[int] = (),
+    ) -> QueryHandle:
+        """Plan one query (executed lazily by :meth:`execute`)."""
+        handle = QueryHandle()
+        self._requests.append(
+            (source, target, tuple(banned_edges), tuple(banned_vertices), handle)
+        )
+        return handle
+
+    def execute(self) -> List[int]:
+        """Answer all pending requests (duplicates answered once)."""
+        requests, self._requests = self._requests, []
+        memo: Dict[Tuple, int] = {}
+        out: List[int] = []
+        distance = self._oracle.distance
+        for source, target, be, bv, handle in requests:
+            key = (source, target, be, bv)
+            hops = memo.get(key)
+            if hops is None:
+                d = distance(source, target, be, bv)
+                hops = UNREACHED if d == INF else int(d)
+                memo[key] = hops
+            handle.hops = hops
+            out.append(hops)
+        return out

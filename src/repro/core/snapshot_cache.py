@@ -57,13 +57,20 @@ class SnapshotCache:
     structure, so LRU bookkeeping would cost more than it saves).
     """
 
-    __slots__ = ("hits", "misses", "evictions", "_tables")
+    __slots__ = ("hits", "misses", "evictions", "oversize", "_tables", "_weights")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.oversize = 0
         self._tables: "weakref.WeakKeyDictionary[Any, Dict[str, dict]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # Per (snapshot, namespace) accumulated entry weight, for the
+        # weight-capped namespaces (distance vectors); mirrors _tables'
+        # lifetime so weights die with their snapshot.
+        self._weights: "weakref.WeakKeyDictionary[Any, Dict[str, int]]" = (
             weakref.WeakKeyDictionary()
         )
 
@@ -87,8 +94,65 @@ class SnapshotCache:
         key: Hashable,
         value: Any,
         limit: int = DEFAULT_LIMIT,
+        weight: int = 0,
+        weight_limit: int = 0,
     ) -> None:
-        """Store ``value``; clears the namespace wholesale at ``limit``."""
+        """Store ``value``; clears the namespace wholesale at ``limit``.
+
+        Weight-capped namespaces (``weight``/``weight_limit`` > 0) track
+        the summed weight of their entries — the distance-vector memos
+        pass the vector length, bounding the namespace's *memory*, not
+        just its entry count, so vector memos cannot grow unbounded on
+        large graphs.  An entry whose own weight exceeds the namespace
+        budget is never cached (counted in ``oversize``); an entry that
+        would push the namespace past its budget clears the namespace
+        first (counted in ``evictions``, same wholesale policy as the
+        entry-count limit).
+        """
+        capped = weight > 0 and weight_limit > 0
+        if capped and weight > weight_limit:
+            self.oversize += 1
+            return
+        table = self._tables.get(snapshot)
+        if table is None:
+            table = {}
+            self._tables[snapshot] = table
+        ns = table.get(namespace)
+        ns_weight = 0
+        if capped:
+            weights = self._weights.get(snapshot)
+            if weights is None:
+                weights = {}
+                self._weights[snapshot] = weights
+            ns_weight = weights.get(namespace, 0)
+        if ns is None:
+            ns = {}
+            table[namespace] = ns
+        elif capped and key in ns:
+            # Overwrite (e.g. a partial search promoted to full): the
+            # replacement has the same shape, so the namespace weight
+            # is unchanged — adding again would inflate the tracked
+            # weight with phantom entries and force premature evictions.
+            ns[key] = value
+            return
+        elif len(ns) >= limit or (capped and ns_weight + weight > weight_limit):
+            self.evictions += len(ns)
+            ns.clear()
+            ns_weight = 0
+        ns[key] = value
+        if capped:
+            weights[namespace] = ns_weight + weight
+
+    def namespace(self, snapshot: Any, namespace: str) -> dict:
+        """The raw namespace dict, for bulk readers/writers.
+
+        The batched point-query executor resolves thousands of keys per
+        call; going through :meth:`get`/:meth:`put` would pay the weak
+        table lookup per key.  Callers of this accessor take over the
+        bookkeeping duties: count their hits/misses into
+        :attr:`hits`/:attr:`misses` themselves and enforce the
+        namespace limit with :meth:`bulk_evict` before inserting.
+        """
         table = self._tables.get(snapshot)
         if table is None:
             table = {}
@@ -97,10 +161,14 @@ class SnapshotCache:
         if ns is None:
             ns = {}
             table[namespace] = ns
-        elif len(ns) >= limit:
+        return ns
+
+    def bulk_evict(self, ns: dict, limit: int = DEFAULT_LIMIT) -> None:
+        """Apply :meth:`put`'s wholesale-clear policy once for a bulk
+        insert into a dict obtained from :meth:`namespace`."""
+        if len(ns) >= limit:
             self.evictions += len(ns)
             ns.clear()
-        ns[key] = value
 
     def stats(self) -> Dict[str, int]:
         """Counters plus live table sizes (for reports and tests)."""
@@ -108,21 +176,27 @@ class SnapshotCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "oversize": self.oversize,
             "snapshots": len(self._tables),
             "entries": sum(
                 len(ns) for table in self._tables.values() for ns in table.values()
+            ),
+            "vector_weight": sum(
+                w for weights in self._weights.values() for w in weights.values()
             ),
         }
 
     def clear(self) -> None:
         """Drop every table (counters are kept; see :meth:`reset_stats`)."""
         self._tables.clear()
+        self._weights.clear()
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss/eviction counters."""
+        """Zero the hit/miss/eviction/oversize counters."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.oversize = 0
 
 
 #: The process-wide instance every oracle/engine uses by default.

@@ -92,3 +92,36 @@ class FTQueryOracle:
         """Distances from ``source`` to every vertex under ``F``."""
         self._check(source, faults)
         return self._dist.distances_from(source, banned_edges=faults)
+
+    def distances_bulk(
+        self,
+        source: int,
+        targets: Sequence[int],
+        faults: Sequence[Sequence[int]] = (),
+    ) -> list:
+        """``dist(source, t, H \\ F)`` for many targets in one execution.
+
+        The batch-first sibling of :meth:`distance` for serving-side
+        workloads: one fault-set normalization and ban stamping for the
+        whole group, answers shared with the scalar path's memo, and a
+        vectorized multi-target sweep under the ``lex-bulk`` engine.
+        Values align with ``targets`` (``inf`` where ``F`` cuts the
+        pair) and are element-for-element identical to per-target
+        :meth:`distance` calls.
+        """
+        self._check(source, faults)
+        return self._dist.distances_bulk(
+            [(source, t) for t in targets], banned_edges=faults
+        )
+
+    def query_batch(self):
+        """A point-query planner over ``H`` for heterogeneous fault sets.
+
+        See :class:`repro.core.query_batch.PointQueryBatch`: plan
+        ``(source, target, faults)`` probes across *different* fault
+        sets, then execute once — grouped by frozen fault set.  The
+        caller is responsible for staying within the structure's fault
+        budget (:meth:`distance` checks per query; the raw planner does
+        not).
+        """
+        return self._dist.batch()

@@ -123,5 +123,29 @@ class DualFaultDistanceOracle:
         return self._h_oracle.distance(self.source, v, banned_edges=faults)
 
     def batch(self, queries: Sequence[Tuple[int, Sequence]]) -> List[float]:
-        """Answer ``(v, faults)`` queries in bulk."""
-        return [self.distance(v, faults) for v, faults in queries]
+        """Answer ``(v, faults)`` queries in bulk (plan-then-execute).
+
+        Two-fault queries are planned against ``H``'s distance oracle
+        and resolved in one batched execution — deduplicated, grouped
+        by frozen fault set, vectorized where the numpy kernel applies
+        (:mod:`repro.core.query_batch`) — while 0/1-fault queries keep
+        the O(1) table fast path.  Values are element-for-element
+        identical to per-query :meth:`distance` calls.
+        """
+        planner = self._h_oracle.batch()
+        pending: List[Tuple[Optional[object], Optional[float]]] = []
+        for v, faults in queries:
+            fs = [normalize_edge(f[0], f[1]) for f in faults]
+            if len(fs) > 2:
+                raise GraphError(
+                    f"{len(fs)} faults exceed the oracle's budget"
+                )
+            if len(fs) == 2:
+                pending.append((planner.add(self.source, v, fs), None))
+            else:
+                pending.append((None, self._single.distance(v, *fs)))
+        planner.execute()
+        return [
+            value if handle is None else handle.distance
+            for handle, value in pending
+        ]

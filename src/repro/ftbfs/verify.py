@@ -47,12 +47,16 @@ def find_violation(
     n = graph.n
 
     def check(faults: Tuple[Edge, ...]) -> Optional[Violation]:
-        for s in sources:
-            gd = g_oracle.distances_from(s, banned_edges=faults)
-            hd = h_oracle.distances_from(s, banned_edges=faults)
-            for v in range(n):
-                if gd[v] != hd[v]:
-                    return (s, v, faults)
+        # Batch-first: one fault-set normalization and ban stamping per
+        # graph serves every source's sweep (and the snapshot cache
+        # answers fault sets a builder already probed).
+        gds = g_oracle.multi_source_distances(sources, banned_edges=faults)
+        hds = h_oracle.multi_source_distances(sources, banned_edges=faults)
+        for s, gd, hd in zip(sources, gds, hds):
+            if gd != hd:
+                for v in range(n):
+                    if gd[v] != hd[v]:
+                        return (s, v, faults)
         return None
 
     bad = check(())

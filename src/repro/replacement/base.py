@@ -84,6 +84,28 @@ class SourceContext:
         """``dist(s, target, G')`` under a restriction (``inf`` if cut)."""
         return self.oracle.distance(self.source, target, banned_edges, banned_vertices)
 
+    def query_batch(self):
+        """A point-query planner bound to this context's oracle.
+
+        The plan-then-execute entry point for the feasibility loops of
+        the builders (:mod:`repro.core.query_batch`): plan probes for
+        many fault sets, execute once, read the handles.  Every oracle
+        family answers the same planner surface, so ``--engine lex``
+        runs converted consumers scalar while the kernel engines
+        dedupe, group by fault set and vectorize.
+        """
+        return self.oracle.batch()
+
+    def distances_bulk(self, targets, banned_edges=(), banned_vertices=()) -> list:
+        """``dist(s, t, G')`` for many targets under one restriction.
+
+        One ban normalization/stamping for the whole group; identical
+        values to per-target :meth:`distance` calls.
+        """
+        return self.oracle.distances_bulk(
+            [(self.source, t) for t in targets], banned_edges, banned_vertices
+        )
+
     def fault_distances(self, fault: Sequence[int]):
         """``dist(s, ·, G \\ {e})`` as a full vector, cached per fault edge.
 

@@ -98,16 +98,23 @@ def pipi_replacement(
     v: int,
     upper: SingleReplacement,
     lower: SingleReplacement,
+    target: Optional[float] = None,
 ) -> Optional[DualReplacement]:
     """``P_{s,v,{e_i,e_j}}`` for two π-failures (Step 2).
 
     ``upper``/``lower`` are the single-failure records of the two
     failing edges, ``upper.fault`` being closer to the source.  Returns
     ``None`` when the pair disconnects ``v``.
+
+    ``target`` may carry the precomputed ``dist(s, v, G \\ F)`` — the
+    plan-then-execute builders answer these feasibility filters in one
+    batched execution (:mod:`repro.core.query_batch`) and pass the
+    values down; when omitted the scalar point query runs here.
     """
     e_i, e_j = upper.fault, lower.fault
     faults = (e_i, e_j)
-    target = ctx.distance(v, banned_edges=faults)
+    if target is None:
+        target = ctx.distance(v, banned_edges=faults)
     if target == INF:
         return None
     pi_path = ctx.pi(v)
@@ -261,19 +268,23 @@ def pid_replacement(
     second_fault: Sequence[int],
     *,
     linear: bool = False,
+    target: Optional[float] = None,
 ) -> Optional[DualReplacement]:
     """``P_{s,v,{e,t}}`` for ``e ∈ π(s, v)``, ``t ∈ D(e)`` (Step 3 selection).
 
     Implements the full preference cascade of the paper: earliest
     π-divergence ``b``; if ``b = x(D)``, earliest D-divergence ``c``.
-    Returns ``None`` when the pair disconnects ``v``.
+    Returns ``None`` when the pair disconnects ``v``.  ``target``
+    optionally carries the batched-precomputed ``dist(s, v, G \\ F)``
+    (see :func:`pipi_replacement`).
     """
     e = single.fault
     t = normalize_edge(second_fault[0], second_fault[1])
     if not single.detour.has_edge(*t):
         raise ConstructionError(f"second fault {t} is not on the detour of {e}")
     faults = (e, t)
-    target = ctx.distance(v, banned_edges=faults)
+    if target is None:
+        target = ctx.distance(v, banned_edges=faults)
     if target == INF:
         return None
     pi_path = ctx.pi(v)

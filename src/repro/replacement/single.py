@@ -20,6 +20,16 @@ This module computes those paths and their decompositions.  Feasibility
 in ``k`` is monotone (masking a shorter prefix only removes paths), so
 the minimal ``k`` is located by binary search; a linear-scan reference
 is retained for tests.
+
+:func:`all_single_replacements` runs the per-fault binary searches in
+*lockstep waves*: each round collects the current probe of every still-
+active search and resolves them through one
+:class:`~repro.core.query_batch.PointQueryBatch` execution — the probes
+are deduplicated against the snapshot cache and answered with one ban
+stamping per distinct restriction.  Every individual search follows the
+exact probe sequence of the scalar binary search, so the selected
+divergence indices (and hence the replacement paths) are identical;
+``REPRO_QUERY_BATCH=0`` or ``linear=True`` forces the scalar path.
 """
 
 from __future__ import annotations
@@ -27,10 +37,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.canonical import INF
+from repro.core.canonical import INF, UNREACHED
 from repro.core.errors import ConstructionError
 from repro.core.graph import Edge, normalize_edge
 from repro.core.paths import Path
+from repro.core.query_batch import batching_enabled
 from repro.replacement.base import SourceContext
 
 
@@ -159,6 +170,16 @@ def earliest_divergence_index(
     return lo
 
 
+def _selected_replacement(
+    ctx: SourceContext, v: int, pi_path: Path, e: Edge, k: int
+) -> SingleReplacement:
+    """Extract + decompose ``P_{s,v,{e}}`` for a known divergence index."""
+    upper = min(pi_path.position(e[0]), pi_path.position(e[1]))
+    banned_v = ctx.pi_segment_interior_ban(pi_path, pi_path[k], pi_path[upper])
+    path = ctx.canonical_path(v, banned_edges=(e,), banned_vertices=banned_v)
+    return decompose_replacement(pi_path, path, e)
+
+
 def single_replacement(
     ctx: SourceContext,
     v: int,
@@ -177,10 +198,54 @@ def single_replacement(
     k = earliest_divergence_index(ctx, v, e, linear=linear)
     if k is None:
         return None
-    upper = min(pi_path.position(e[0]), pi_path.position(e[1]))
-    banned_v = ctx.pi_segment_interior_ban(pi_path, pi_path[k], pi_path[upper])
-    path = ctx.canonical_path(v, banned_edges=(e,), banned_vertices=banned_v)
-    return decompose_replacement(pi_path, path, e)
+    return _selected_replacement(ctx, v, pi_path, e, k)
+
+
+def _batched_divergence_indices(
+    ctx: SourceContext, v: int, faults: List[Edge]
+) -> Dict[Edge, Optional[int]]:
+    """Minimal divergence index per fault, binary searches in lockstep.
+
+    Each wave gathers the pending probe of every still-active binary
+    search and resolves them in one batched execution; per fault the
+    probe sequence — and therefore the selected index — is exactly that
+    of :func:`earliest_divergence_index`.  Entries are ``None`` for
+    bridge faults that disconnect ``v``.
+    """
+    pi_path = ctx.pi(v)
+    out: Dict[Edge, Optional[int]] = {}
+    # Per active search: [fault, upper, target_hops, lo, hi].
+    states: List[list] = []
+    for e in faults:
+        # One full BFS per fault serves every affected target (cached
+        # on the context); raw hops, -1 = disconnected.
+        target = ctx.fault_distances(e)[v]
+        if target == UNREACHED:
+            out[e] = None
+            continue
+        upper = min(pi_path.position(e[0]), pi_path.position(e[1]))
+        states.append([e, upper, target, 0, upper])
+    batch = ctx.query_batch()
+    while True:
+        active = [st for st in states if st[3] < st[4]]
+        if not active:
+            break
+        handles = []
+        for e, upper, _target, lo, hi in active:
+            mid = (lo + hi) // 2
+            banned_v = ctx.pi_segment_interior_ban(
+                pi_path, pi_path[mid], pi_path[upper]
+            )
+            handles.append(batch.add(ctx.source, v, (e,), banned_v))
+        batch.execute()
+        for st, handle in zip(active, handles):
+            if handle.hops == st[2]:  # feasible: tighten from above
+                st[4] = (st[3] + st[4]) // 2
+            else:
+                st[3] = (st[3] + st[4]) // 2 + 1
+    for e, _upper, _target, lo, _hi in states:
+        out[e] = lo
+    return out
 
 
 def all_single_replacements(
@@ -192,13 +257,25 @@ def all_single_replacements(
     """``P_{s,v,{e_i}}`` for every ``e_i ∈ π(s, v)``, keyed by edge.
 
     Entries are ``None`` for bridge edges whose removal disconnects
-    ``v``.  Keys iterate in π order (top to bottom).
+    ``v``.  Keys iterate in π order (top to bottom).  The per-fault
+    divergence binary searches run in batched lockstep waves (see
+    module docstring) unless ``linear`` or ``REPRO_QUERY_BATCH=0``
+    forces the scalar reference path; selected paths are identical
+    either way.
     """
     pi_path = ctx.pi(v)
+    edge_list = [normalize_edge(u, w) for u, w in pi_path.directed_edges()]
     out: Dict[Edge, Optional[SingleReplacement]] = {}
-    for u, w in pi_path.directed_edges():
-        e = normalize_edge(u, w)
-        out[e] = single_replacement(ctx, v, e, linear=linear)
+    if linear or not batching_enabled():
+        for e in edge_list:
+            out[e] = single_replacement(ctx, v, e, linear=linear)
+        return out
+    indices = _batched_divergence_indices(ctx, v, edge_list)
+    for e in edge_list:
+        k = indices[e]
+        out[e] = (
+            None if k is None else _selected_replacement(ctx, v, pi_path, e, k)
+        )
     return out
 
 

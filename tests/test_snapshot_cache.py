@@ -143,3 +143,115 @@ def test_default_consumers_use_the_process_wide_instance():
     g = path_graph(3)
     assert DistanceOracle(g)._cache is shared_cache()
     assert CSRLexShortestPaths(g)._cache is shared_cache()
+
+
+# ----------------------------------------------------------------------
+# weight-capped namespaces (distance-vector memos)
+# ----------------------------------------------------------------------
+class _Snap:
+    """Weak-referenceable stand-in for a CSR snapshot."""
+
+
+def test_weight_cap_evicts_namespace_wholesale():
+    cache = SnapshotCache()
+    snap = _Snap()
+    # budget of 100 "ints"; 40-int entries: the third insert overflows
+    cache.put(snap, "vec", "a", [0] * 40, weight=40, weight_limit=100)
+    cache.put(snap, "vec", "b", [0] * 40, weight=40, weight_limit=100)
+    assert cache.evictions == 0
+    cache.put(snap, "vec", "c", [0] * 40, weight=40, weight_limit=100)
+    assert cache.evictions == 2  # a and b were cleared wholesale
+    assert cache.get(snap, "vec", "a") is None
+    assert cache.get(snap, "vec", "c") is not None
+    assert cache.stats()["vector_weight"] == 40
+
+
+def test_oversize_entry_never_cached():
+    cache = SnapshotCache()
+    snap = _Snap()
+    cache.put(snap, "vec", "huge", [0] * 500, weight=500, weight_limit=100)
+    assert cache.oversize == 1
+    assert cache.get(snap, "vec", "huge") is None
+    assert cache.stats()["oversize"] == 1
+
+
+def test_weight_tracking_resets_on_clear():
+    cache = SnapshotCache()
+    snap = _Snap()
+    cache.put(snap, "vec", "a", [0] * 10, weight=10, weight_limit=100)
+    assert cache.stats()["vector_weight"] == 10
+    cache.clear()
+    assert cache.stats()["vector_weight"] == 0
+
+
+def test_unweighted_puts_ignore_weight_budget():
+    cache = SnapshotCache()
+    snap = _Snap()
+    for i in range(50):
+        cache.put(snap, "pt", i, i)
+    assert cache.evictions == 0
+    assert cache.stats()["vector_weight"] == 0
+
+
+def test_vector_namespace_respects_env_budget(monkeypatch):
+    # a budget smaller than one distance vector: nothing is memoized,
+    # but queries keep answering correctly
+    monkeypatch.setenv("REPRO_VEC_CACHE_INTS", "4")
+    g = erdos_renyi(20, 0.25, seed=3)
+    oracle = DistanceOracle(g)
+    before = shared_cache().oversize
+    first = oracle.distances_from(0)
+    second = oracle.distances_from(0)
+    assert first == second
+    assert shared_cache().oversize > before
+
+
+def test_search_memo_respects_weight_budget(monkeypatch):
+    monkeypatch.setenv("REPRO_SEARCH_CACHE_INTS", "4")
+    g = erdos_renyi(18, 0.25, seed=5)
+    engine = CSRLexShortestPaths(g)
+    res1 = engine.search(0)
+    res2 = engine.search(0)
+    assert res1.distances() == res2.distances()
+
+
+def test_bulk_namespace_access_matches_put_get():
+    cache = SnapshotCache()
+    snap = _Snap()
+    ns = cache.namespace(snap, "pt")
+    ns["k"] = 7
+    assert cache.get(snap, "pt", "k") == 7
+    for i in range(10):
+        ns[i] = i
+    cache.bulk_evict(ns, limit=5)
+    assert len(ns) == 0
+    assert cache.evictions == 11
+
+
+def test_weight_capped_overwrite_does_not_inflate_weight():
+    cache = SnapshotCache()
+    snap = _Snap()
+    for _ in range(50):  # e.g. partial→full search promotions
+        cache.put(snap, "vec", "same-key", [0] * 40, weight=40, weight_limit=100)
+    assert cache.stats()["vector_weight"] == 40
+    assert cache.evictions == 0
+
+
+def test_cached_repair_context_does_not_immortalize_snapshot():
+    import weakref
+
+    from repro.core.canonical import BulkDistanceOracle, HAVE_BULK
+
+    g = erdos_renyi(30, 0.2, seed=13)
+    oracle = (BulkDistanceOracle if HAVE_BULK else DistanceOracle)(g)
+    batch = oracle.batch()
+    edges = sorted(g.edges())
+    for t in range(1, 20):  # >=4 same-source edge-only probes builds
+        batch.add(0, t, (edges[t % len(edges)],))  # the repair context
+    batch.execute()
+    ref = weakref.ref(csr_of(g))
+    g.add_edge(0, 29)  # mutation retires the snapshot
+    oracle.distance(0, 1)  # the oracle refreshes onto the new snapshot
+    del batch
+    gc.collect()
+    assert ref() is None, "retired snapshot kept alive by cached repair context"
