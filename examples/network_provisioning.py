@@ -11,6 +11,13 @@ every strategy the library implements, then spot-checks that the
 purchased structures actually deliver optimal routes under failures.
 
 Run:  python examples/network_provisioning.py
+
+Expected output (seconds): a strategy table — whole network, all
+replacement paths, single-failure FT-BFS, last-edge sparsification
+(``Cons2FTBFS``), and the set-cover approximation — with channel
+counts and cost relative to leasing everything (the FT-BFS structures
+lease well under 100%), followed by spot-check lines confirming
+optimal routing under sampled dual failures.
 """
 
 import random

@@ -1,7 +1,19 @@
 #!/usr/bin/env python
 """Quickstart: build, verify and query a dual-failure FT-BFS structure.
 
+Demonstrates the library's core loop in a dozen lines: generate a
+random network, run Algorithm ``Cons2FTBFS`` (the paper's main
+construction), verify the structure exhaustively against every fault
+pair, then answer distance and routing queries from the sparse
+structure alone — first fault-free, then with two links failed.
+
 Run:  python examples/quickstart.py
+
+Expected output (seconds): the network/structure sizes (the structure
+keeps ~80% of this small dense graph; sparsity shows at scale), the
+per-vertex new-edge maximum that Thm 1.1 bounds by O(n^(2/3)), a
+"verified" line, and a fault-free vs two-faults distance pair
+(2 vs 4) with the surviving route.
 """
 
 from repro import (

@@ -7,6 +7,12 @@ All routing decisions are answered from the sparse FT-BFS structure
 alone — the full network map is only used to double-check optimality.
 
 Run:  python examples/resilient_routing.py
+
+Expected output (seconds): the backbone/structure sizes, then a
+timeline (``t=1..``) of link failures and recoveries; each step names
+the event, the flow being routed, its distance, the verdict
+("optimal primary route intact" / a reroute notice), and the route
+actually taken — every one certified optimal against the full map.
 """
 
 import random

@@ -30,6 +30,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            # `repro` == `python -m repro` (the README quickstart)
+            "repro=repro.cli:main",
+        ],
+    },
     install_requires=[
         "numpy>=1.22",
     ],
@@ -42,6 +48,7 @@ setup(
         ],
         "lint": [
             "ruff",
+            "interrogate",
         ],
     },
 )

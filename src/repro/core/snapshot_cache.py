@@ -28,7 +28,17 @@ into one shared :class:`SnapshotCache`:
 * **Accounting.**  ``hits`` / ``misses`` / ``evictions`` counters make
   cache behavior observable (and testable:
   ``tests/test_snapshot_cache.py``); :meth:`SnapshotCache.stats`
-  snapshots them together with the live table sizes.
+  snapshots them together with the live table sizes.  The speculative
+  planner (:class:`repro.core.query_batch.SpeculativeBatch`) accounts
+  its dependency reconciliation here too — ``spec_hits`` (speculative
+  answers consumed), ``spec_misses`` (probes that were never
+  speculated and fell back to scalar), ``spec_discards`` (answers
+  thrown away because the declared dependency changed underneath
+  them) — so ``repro bench`` can report per-arm mispredict rates.
+  Speculative answers themselves live in a dedicated weight-capped
+  ``spec:*`` namespace (their restriction keys carry whole
+  incident-edge sets, so they are budgeted separately from the scalar
+  point memo; see ``REPRO_SPEC_CACHE_INTS``).
 
 Benchmarks that compare engines on one graph must call
 :meth:`SnapshotCache.clear` between timed arms (see
@@ -57,13 +67,28 @@ class SnapshotCache:
     structure, so LRU bookkeeping would cost more than it saves).
     """
 
-    __slots__ = ("hits", "misses", "evictions", "oversize", "_tables", "_weights")
+    __slots__ = (
+        "hits",
+        "misses",
+        "evictions",
+        "oversize",
+        "spec_planned",
+        "spec_hits",
+        "spec_misses",
+        "spec_discards",
+        "_tables",
+        "_weights",
+    )
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.oversize = 0
+        self.spec_planned = 0
+        self.spec_hits = 0
+        self.spec_misses = 0
+        self.spec_discards = 0
         self._tables: "weakref.WeakKeyDictionary[Any, Dict[str, dict]]" = (
             weakref.WeakKeyDictionary()
         )
@@ -177,6 +202,10 @@ class SnapshotCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "oversize": self.oversize,
+            "spec_planned": self.spec_planned,
+            "spec_hits": self.spec_hits,
+            "spec_misses": self.spec_misses,
+            "spec_discards": self.spec_discards,
             "snapshots": len(self._tables),
             "entries": sum(
                 len(ns) for table in self._tables.values() for ns in table.values()
@@ -192,11 +221,15 @@ class SnapshotCache:
         self._weights.clear()
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss/eviction/oversize counters."""
+        """Zero the hit/miss/eviction/oversize/speculation counters."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.oversize = 0
+        self.spec_planned = 0
+        self.spec_hits = 0
+        self.spec_misses = 0
+        self.spec_discards = 0
 
 
 #: The process-wide instance every oracle/engine uses by default.

@@ -244,6 +244,35 @@ def test_multi_target_dists_matches_bidir():
             assert d == csr.bidir_distance(0, t, ban2)
 
 
+@pytest.mark.parametrize("labels", ["dense", "compact", "auto"])
+def test_multi_pair_label_kernels_match_bidir(labels, monkeypatch):
+    """Both multi-pair label representations (dense scatter tables and
+    compact unified-label pools) are exact, under every ban shape."""
+    monkeypatch.setenv("REPRO_PAIR_LABELS", labels)
+    for g in (
+        path_graph(40),
+        erdos_renyi(60, 0.08, seed=2),
+        tree_plus_chords(90, 35, seed=4),
+    ):
+        csr = csr_of(g)
+        kernel = BulkCSRKernel(csr, min_bulk_n=0)
+        edges = sorted(g.edges())
+        rng = random.Random(labels == "dense" and 5 or 6)
+        queries = []
+        for _ in range(90):
+            s = rng.randrange(g.n)
+            t = rng.randrange(g.n)
+            eids = sorted(
+                csr.resolve_edge_ids(rng.sample(edges, k=rng.randrange(0, 4)))
+            )
+            verts = sorted(rng.sample(range(g.n), k=rng.randrange(0, 2)))
+            queries.append((s, t, eids, verts))
+        got = kernel.multi_pair_dists(queries)
+        for (s, t, eids, verts), d in zip(queries, got):
+            ban = csr.stamp_edge_ids(eids, verts)
+            assert d == csr.bidir_distance(s, t, ban), (labels, g.n)
+
+
 def test_multi_pair_dists_matches_bidir_including_cutover():
     # path graphs force long distances, exercising the lock-step tail
     # cutover to the scalar kernel

@@ -1,0 +1,235 @@
+"""Property tests for the speculative dependency-aware planner.
+
+``SpeculativeBatch`` executes Cons2FTBFS step-3 ``d_restricted``
+probes ahead of the sequential control flow that defines them, so the
+one property that matters is *unconditional exactness*: the structure
+built with speculation on must be byte-identical to the sequential
+path (``REPRO_SPEC_BATCH=0``) for every engine, every workload shape,
+and every reconciliation outcome — high-hit-rate runs, misprediction-
+heavy adversarial runs, multi-round re-speculation, and a speculation
+cache squeezed to a few ints.  The planner's accounting (planned /
+hits / stale_hits / misses / discards, mirrored on the shared snapshot
+cache) is asserted alongside, because the mispredict observability is
+itself a shipped feature (``repro bench``, E16).
+"""
+
+import pytest
+
+from repro.core.canonical import DistanceOracle, PythonDistanceOracle
+from repro.core.query_batch import (
+    SpecHandle,
+    SpeculativeBatch,
+    spec_rounds,
+    speculation_enabled,
+)
+from repro.core.snapshot_cache import shared_cache
+from repro.ftbfs.cons2ftbfs import build_cons2ftbfs
+from repro.generators import erdos_renyi, tree_plus_chords
+
+
+def build_key(structure):
+    """Everything the dual-failure structure's identity consists of."""
+    return (
+        frozenset(structure.edges),
+        tuple(sorted(structure.stats["new_edges_per_vertex"].items())),
+        structure.stats["new_ending_paths"],
+        structure.stats["satisfied_pairs"],
+        structure.stats["new_edges_by_phase"],
+    )
+
+
+WORKLOADS = [
+    ("chords", lambda: tree_plus_chords(120, 45, seed=6)),
+    ("er-sparse", lambda: erdos_renyi(90, 0.05, seed=11)),
+    # Denser expanders maximize step-3 new-ending events, i.e.
+    # dependency changes mid-loop — the misprediction-heavy regime.
+    ("er-dense", lambda: erdos_renyi(70, 0.14, seed=3)),
+]
+
+
+@pytest.mark.parametrize("engine", ["lex", "lex-csr", "lex-bulk"])
+@pytest.mark.parametrize("name,gen", WORKLOADS)
+def test_cons2_bit_identical_with_and_without_speculation(
+    engine, name, gen, monkeypatch
+):
+    g = gen()
+    keys = {}
+    for mode in ("1", "0"):
+        monkeypatch.setenv("REPRO_SPEC_BATCH", mode)
+        shared_cache().clear()
+        h = build_cons2ftbfs(g, 0, engine=engine, keep_records=True)
+        keys[mode] = build_key(h)
+        if mode == "1":
+            st = h.stats["speculation"]
+            # every claim outcome is accounted, and nothing is claimed
+            # that was never planned
+            assert st["hits"] <= st["planned"]
+            assert min(st.values()) >= 0
+        else:
+            assert "speculation" not in h.stats
+    assert keys["1"] == keys["0"], (engine, name)
+
+
+def test_adversarial_misprediction_heavy_run_stays_exact(monkeypatch):
+    """A workload with many step-3 new-ending events must produce real
+    discards — and an identical structure regardless."""
+    g = erdos_renyi(80, 0.12, seed=41)
+    monkeypatch.setenv("REPRO_SPEC_BATCH", "1")
+    shared_cache().clear()
+    spec_on = build_cons2ftbfs(g, 0, engine="lex-csr")
+    st = spec_on.stats["speculation"]
+    assert st["planned"] > 0
+    assert st["discards"] > 0, "adversarial case should mispredict"
+    assert st["hits"] > 0
+    monkeypatch.setenv("REPRO_SPEC_BATCH", "0")
+    shared_cache().clear()
+    spec_off = build_cons2ftbfs(g, 0, engine="lex-csr")
+    assert build_key(spec_on) == build_key(spec_off)
+
+
+def test_multi_round_respeculation_matches_single_wave(monkeypatch):
+    g = erdos_renyi(70, 0.1, seed=9)
+    keys = {}
+    for rounds in ("1", "4"):
+        monkeypatch.setenv("REPRO_SPEC_BATCH", "1")
+        monkeypatch.setenv("REPRO_SPEC_ROUNDS", rounds)
+        assert spec_rounds() == int(rounds)
+        shared_cache().clear()
+        keys[rounds] = build_key(build_cons2ftbfs(g, 0, engine="lex-bulk"))
+    monkeypatch.setenv("REPRO_SPEC_BATCH", "0")
+    shared_cache().clear()
+    keys["off"] = build_key(build_cons2ftbfs(g, 0, engine="lex-bulk"))
+    assert keys["1"] == keys["4"] == keys["off"]
+
+
+def test_speculation_cache_cap_behavior(monkeypatch):
+    """A starved spec namespace may refuse entries (oversize) but can
+    never change results."""
+    g = tree_plus_chords(90, 35, seed=13)
+    monkeypatch.setenv("REPRO_SPEC_BATCH", "0")
+    shared_cache().clear()
+    want = build_key(build_cons2ftbfs(g, 0, engine="lex-csr"))
+    for cap in ("4", "100000"):
+        monkeypatch.setenv("REPRO_SPEC_BATCH", "1")
+        monkeypatch.setenv("REPRO_SPEC_CACHE_INTS", cap)
+        shared_cache().clear()
+        shared_cache().reset_stats()
+        got = build_key(build_cons2ftbfs(g, 0, engine="lex-csr"))
+        assert got == want, cap
+        stats = shared_cache().stats()
+        if cap == "4":
+            # every speculative answer's key outweighs the namespace
+            assert stats["oversize"] > 0
+        else:
+            assert stats["spec_hits"] > 0
+
+
+def test_spec_counters_mirrored_on_shared_cache(monkeypatch):
+    g = tree_plus_chords(80, 30, seed=7)
+    monkeypatch.setenv("REPRO_SPEC_BATCH", "1")
+    shared_cache().clear()
+    shared_cache().reset_stats()
+    h = build_cons2ftbfs(g, 0, engine="lex-bulk")
+    st = h.stats["speculation"]
+    cs = shared_cache().stats()
+    assert cs["spec_planned"] == st["planned"]
+    assert cs["spec_hits"] == st["hits"]
+    assert cs["spec_misses"] == st["misses"]
+    assert cs["spec_discards"] == st["discards"]
+    shared_cache().reset_stats()
+    assert shared_cache().stats()["spec_planned"] == 0
+
+
+def test_speculation_env_gate(monkeypatch):
+    monkeypatch.delenv("REPRO_SPEC_BATCH", raising=False)
+    assert speculation_enabled()
+    monkeypatch.setenv("REPRO_SPEC_BATCH", "0")
+    assert not speculation_enabled()
+
+
+# ----------------------------------------------------------------------
+# planner-level unit behavior
+# ----------------------------------------------------------------------
+
+
+def test_speculative_batch_claim_and_token_semantics():
+    g = erdos_renyi(30, 0.2, seed=5)
+    oracle = DistanceOracle(g)
+    shared_cache().clear()
+    spec = SpeculativeBatch(oracle)
+    edges = sorted(g.edges())
+    h_ok = spec.speculate(0, 7, (edges[0],), token=0)
+    h_stale = spec.speculate(0, 9, (edges[1],), token=0)
+    assert len(spec) == 2
+    spec.execute()
+    want = oracle.distance(0, 7, (edges[0],))
+    got = spec.claim(h_ok, 0)
+    assert (float("inf") if got == -1 else got) == want
+    assert spec.claim(h_stale, 1) is None  # dependency moved: discard
+    assert spec.claim(None, 0) is None  # never speculated: miss
+    st = spec.stats
+    assert st == {
+        "planned": 2,
+        "hits": 1,
+        "stale_hits": 0,
+        "misses": 1,
+        "discards": 1,
+    }
+
+
+def test_consume_stale_releases_only_matching_upper_bounds():
+    g = erdos_renyi(25, 0.25, seed=8)
+    oracle = DistanceOracle(g)
+    shared_cache().clear()
+    spec = SpeculativeBatch(oracle)
+    h = spec.speculate(0, 5, (), token=0)
+    spec.execute()
+    exact = h.handle.hops
+    assert exact >= 0
+    assert spec.consume_stale(h, exact) == exact  # conclusive: released
+    assert spec.consume_stale(h, exact - 1) is None  # inconclusive
+    assert spec.consume_stale(None, 3) is None  # miss
+    st = spec.stats
+    assert st["stale_hits"] == 1 and st["hits"] == 1
+    assert st["discards"] == 1 and st["misses"] == 1
+
+
+def test_resolved_and_discard_unclaimed_accounting():
+    g = erdos_renyi(20, 0.3, seed=2)
+    shared_cache().clear()
+    spec = SpeculativeBatch(DistanceOracle(g))
+    h = spec.resolved(4, token=2)
+    assert isinstance(h, SpecHandle)
+    assert spec.claim(h, 2) == 4
+    spec.discard_unclaimed(3)
+    st = spec.stats
+    assert st["planned"] == 1 and st["hits"] == 1 and st["discards"] == 3
+
+
+def test_speculative_batch_over_legacy_oracle():
+    """The python oracle family answers the same planner surface."""
+    g = erdos_renyi(25, 0.2, seed=14)
+    oracle = PythonDistanceOracle(g)
+    spec = SpeculativeBatch(oracle)
+    edges = sorted(g.edges())
+    h = spec.speculate(0, 6, (edges[2],), token=0)
+    spec.execute()
+    got = spec.claim(h, 0)
+    want = oracle.distance(0, 6, (edges[2],))
+    assert (float("inf") if got == -1 else got) == want
+
+
+def test_spec_namespace_is_separate_but_reads_point_memo():
+    g = erdos_renyi(30, 0.2, seed=21)
+    oracle = DistanceOracle(g)
+    shared_cache().clear()
+    edges = sorted(g.edges())
+    # seed the *point* memo via a scalar query
+    want = oracle.distance(1, 8, (edges[0],))
+    spec = SpeculativeBatch(oracle)
+    h = spec.speculate(1, 8, (edges[0],), token=0)
+    before = shared_cache().hits
+    spec.execute()
+    assert shared_cache().hits > before  # answered from the point memo
+    got = spec.claim(h, 0)
+    assert (float("inf") if got == -1 else got) == want
