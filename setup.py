@@ -13,11 +13,18 @@ Dependency policy:
   The library degrades gracefully without it (the pure-python kernels
   keep working and ``lex-bulk`` simply is not registered), but an
   installed package should have its fast path available.
+* The C batch kernel (``repro/core/_ckernel.c``, the ``lex-c`` tier)
+  builds as an *optional* extension: hosts without a working compiler
+  install cleanly — setuptools downgrades the build failure to a
+  warning — and the library falls back to the numpy/python kernels
+  (``repro.core.ckernel`` can also compile the same source on demand
+  in source checkouts, so an installed extension is a convenience,
+  not a requirement).
 * The ``test`` extra carries everything the tier-1 suite and the
   benchmark harness need; CI installs via ``pip install -e .[test]``.
 """
 
-from setuptools import find_packages, setup
+from setuptools import Extension, find_packages, setup
 
 setup(
     name="repro-parter15",
@@ -29,6 +36,17 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    ext_modules=[
+        Extension(
+            "repro.core._ckernel",
+            sources=["src/repro/core/_ckernel.c"],
+            define_macros=[("REPRO_CKERNEL_PYMODULE", "1")],
+            # No compiler / broken toolchain must not fail the install:
+            # repro.core.ckernel falls back to an on-demand build and
+            # then to the numpy/python kernels.
+            optional=True,
+        )
+    ],
     python_requires=">=3.10",
     entry_points={
         "console_scripts": [

@@ -14,18 +14,26 @@ Examples::
 Engines (``--engine``): ``lex-csr`` (default; flat-array CSR kernel),
 ``lex-bulk`` (vectorized numpy bulk kernel — whole-frontier expansion,
 bit-identical results, fastest on large graphs; available when numpy
-is installed), ``lex`` (legacy layered reference), ``perturbed``
-(paper-literal randomized weights).  Builders answer their feasibility
-point queries through the batched plan→dedupe→execute pipeline of
-:mod:`repro.core.query_batch` (vectorized multi-pair execution under
-``lex-bulk``; set ``REPRO_QUERY_BATCH=0`` to force per-pair scalar
-queries).  ``bench --engine all`` times every engine on the same
-workload and reports speedups against the legacy ``lex`` engine plus
-the snapshot-cache hit/miss/eviction counters and the speculative
-step-3 hit/miss/discard counters of one cold build; the
-process-wide snapshot cache (which lets builders share
-restricted-search results) is cleared before every timed round so no
-engine is measured against another's warm cache.
+is installed), ``lex-c`` (the numpy kernel with its batched point
+queries running in the compiled C kernel — the top of the kernel
+ladder, see ``docs/kernels.md``; requires a working C compiler or the
+prebuilt extension, and errors clearly otherwise), ``lex`` (legacy
+layered reference), ``perturbed`` (paper-literal randomized weights).
+Builders answer their feasibility point queries through the batched
+plan→dedupe→execute pipeline of :mod:`repro.core.query_batch`
+(vectorized multi-pair execution under ``lex-bulk``/``lex-c``; set
+``REPRO_QUERY_BATCH=0`` to force per-pair scalar queries).  ``bench
+--engine all`` times every engine on the same workload (skipping
+engines this host cannot run, e.g. ``lex-c`` without a compiler) and
+reports speedups against the legacy ``lex`` engine, the kernel tier
+that actually served each arm's batched queries (auto-dispatch is
+otherwise invisible — ``REPRO_C_KERNEL=auto`` accelerates ``lex-bulk``
+too whenever the C kernel loads), plus the snapshot-cache
+hit/miss/eviction counters and the speculative step-3
+hit/miss/discard counters of one cold build; the process-wide
+snapshot cache (which lets builders share restricted-search results)
+is cleared before every timed round so no engine is measured against
+another's warm cache.
 
 Graph specifications (``--graph``)::
 
@@ -42,7 +50,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.canonical import DEFAULT_ENGINE, ENGINES
+from repro.core.canonical import DEFAULT_ENGINE, ENGINES, make_engine
 from repro.core.errors import GraphError, ReproError, VerificationError
 from repro.core.graph import Graph
 from repro.core.io import load_graph, load_structure, save_structure
@@ -202,18 +210,56 @@ def cmd_lowerbound(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_tier_label(engine: str, stats: Optional[Dict[str, int]]) -> str:
+    """Which kernel tier actually served an arm's batched point queries.
+
+    Auto-dispatch (``REPRO_C_KERNEL``, ``REPRO_PAIR_LABELS``,
+    ``REPRO_BULK_MIN_N``) makes the executing tier invisible in the
+    timings, so ``repro bench`` derives it from the bulk kernel's
+    dispatch counters after the build.  Engines that never touch the
+    bulk kernel report their fixed tier.
+    """
+    if engine == "lex":
+        return "python (legacy)"
+    if engine in ("lex-csr", "perturbed"):
+        return "csr"
+    if not stats or not any(stats.values()):
+        return "csr (no vectorized batch ran)"
+    served = []
+    if stats.get("pairs_c") or stats.get("sweeps_c"):
+        served.append("c")
+    if stats.get("pairs_dense"):
+        served.append("numpy-dense")
+    if stats.get("pairs_compact"):
+        served.append("numpy-compact")
+    if stats.get("sweeps_numpy") and not (
+        stats.get("pairs_dense") or stats.get("pairs_compact")
+    ):
+        served.append("numpy")
+    return "+".join(served) if served else "csr"
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Time a builder under one or all canonical engines.
 
     Lets users compare the flat-array CSR kernel against the legacy
     reference on their own graphs without touching the benchmarks
-    directory.  Reports best-of-``--rounds`` wall times and the speedup
-    relative to the legacy ``lex`` engine when it is included.
+    directory.  Reports best-of-``--rounds`` wall times, the speedup
+    relative to the legacy ``lex`` engine when it is included, and the
+    kernel tier that actually served each arm's batched point queries.
+    With ``--engine all``, engines this host cannot run (``lex-c``
+    without a compiler or prebuilt extension) are reported and skipped
+    instead of failing the whole comparison.
     """
     import json
     import time
 
     from repro.core.snapshot_cache import shared_cache
+
+    try:
+        from repro.core.bulk import kernel_dispatch_stats
+    except ImportError:  # numpy-less install: no bulk kernel to inspect
+        kernel_dispatch_stats = None
 
     graph = parse_graph_spec(args.graph)
     builder = BUILDERS[args.builder]
@@ -233,36 +279,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
         best = float("inf")
         size = None
         cache_stats = None
+        tier_stats = None
+        if args.engine == "all":
+            # `all` means "everything this host can run": an engine
+            # tier whose *construction* fails (lex-c without a
+            # compiler) is reported and skipped, not fatal.  Only the
+            # availability probe is guarded — a GraphError raised by
+            # the timed build itself (bad source, builder errors) is a
+            # real error and must keep failing the command.
+            try:
+                make_engine(graph, engine)
+            except GraphError as err:
+                results.append({"engine": engine, "unavailable": str(err)})
+                continue
         for _ in range(rounds):
             # Cold-cache timing: without this, later engines would be
             # served from earlier engines' shared snapshot-cache entries
             # and the comparison would measure cache hits, not engines.
             shared_cache().clear()
             shared_cache().reset_stats()
+            if kernel_dispatch_stats is not None:
+                kernel_dispatch_stats(graph, reset=True)
             t0 = time.perf_counter()
             structure = builder(graph, args.source, args.f, engine)
             best = min(best, time.perf_counter() - t0)
             size = structure.size
-            # One cold build's worth of snapshot-cache traffic (each
-            # round starts from clear+reset, so the last capture is
-            # representative, not cumulative).
+            # One cold build's worth of snapshot-cache traffic and
+            # kernel-tier dispatch (each round starts from
+            # clear+reset, so the last capture is representative,
+            # not cumulative).
             cache_stats = shared_cache().stats()
+            if kernel_dispatch_stats is not None:
+                tier_stats = kernel_dispatch_stats(graph)
         results.append(
             {
                 "engine": engine,
                 "seconds": best,
                 "structure_size": size,
                 "snapshot_cache": cache_stats,
+                "kernel_dispatch": tier_stats,
+                "kernel_tier": _kernel_tier_label(engine, tier_stats),
             }
         )
     baseline = next(
-        (r["seconds"] for r in results if r["engine"] == "lex"), None
+        (
+            r["seconds"]
+            for r in results
+            if r["engine"] == "lex" and "seconds" in r
+        ),
+        None,
     )
     print(
         f"bench {args.builder} on n={graph.n} m={graph.m} "
         f"(best of {rounds} rounds)"
     )
     for r in results:
+        if "unavailable" in r:
+            print(f"  {r['engine']:<10s} unavailable: {r['unavailable']}")
+            continue
         speedup = (
             f"{baseline / r['seconds']:6.2f}x vs lex" if baseline else ""
         )
@@ -271,6 +345,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"  {r['engine']:<10s} {1000.0 * r['seconds']:9.1f} ms  "
             f"|H|={r['structure_size']}  {speedup}"
         )
+        tier = r["kernel_tier"]
+        ds = r["kernel_dispatch"]
+        if ds and any(ds.values()):
+            print(
+                f"             kernel: {tier} — pairs "
+                f"{ds['pairs_c']} c / {ds['pairs_dense']} dense / "
+                f"{ds['pairs_compact']} compact / "
+                f"{ds['pairs_cutover']} cutover; sweep targets "
+                f"{ds['sweeps_c']} c / {ds['sweeps_numpy']} numpy"
+            )
+        else:
+            print(f"             kernel: {tier}")
         cs = r["snapshot_cache"]
         if cs is not None:
             total = cs["hits"] + cs["misses"]

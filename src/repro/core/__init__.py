@@ -17,6 +17,8 @@ from repro.core.canonical import (
     UNREACHED,
     BulkDistanceOracle,
     BulkLexShortestPaths,
+    CDistanceOracle,
+    CLexShortestPaths,
     CSRLexShortestPaths,
     DistanceOracle,
     LexShortestPaths,
@@ -67,6 +69,8 @@ __all__ = [
     "BFSTree",
     "BulkDistanceOracle",
     "BulkLexShortestPaths",
+    "CDistanceOracle",
+    "CLexShortestPaths",
     "CSRGraph",
     "CSRLexShortestPaths",
     "ConstructionError",

@@ -48,6 +48,18 @@ crossover) the kernel transparently delegates every call to the shared
 python kernel of the same snapshot — results are identical either way,
 so the switch is purely a performance decision.
 
+**C kernel tier.**  The two batch entry points —
+:meth:`BulkCSRKernel.multi_pair_dists` and
+:meth:`BulkCSRKernel.multi_target_dists` — additionally dispatch to
+the compiled C kernel of :mod:`repro.core.ckernel` when it is
+available and ``REPRO_C_KERNEL`` allows (``auto``/``on``/``off``):
+the C tier runs the same searches over the same flat arrays with zero
+per-round dispatch cost, which is what closes the gap on shallow
+expander workloads where the lock-step numpy waves finish in 2-3
+rounds (see ``docs/kernels.md`` for the full ladder).  Results are
+bit-identical across all tiers; :attr:`BulkCSRKernel.dispatch_stats`
+records which tier actually served each batch.
+
 The kernel is cached per CSR snapshot via :func:`bulk_of` (and thereby
 per graph version), so the ``lex-bulk`` engine, the bulk distance
 oracle and the builders above them share one set of scratch arrays, the
@@ -62,6 +74,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.csr import CSRGraph, UNREACHED, csr_of
+from repro.core.ckernel import CKernel, c_kernel_mode, load_c_library
 from repro.core.graph import Graph
 
 #: Below this vertex count the python kernel is faster and the bulk
@@ -78,6 +91,28 @@ def _min_bulk_n() -> int:
         return int(os.environ.get("REPRO_BULK_MIN_N", DEFAULT_MIN_BULK_N))
     except ValueError:
         return DEFAULT_MIN_BULK_N
+
+
+def kernel_dispatch_stats(graph: Graph, reset: bool = False):
+    """Dispatch counters of ``graph``'s cached bulk kernel, or ``None``.
+
+    Returns a copy of :attr:`BulkCSRKernel.dispatch_stats` — how many
+    multi-pair queries / sweep targets each kernel tier (C, numpy
+    dense, numpy compact, scalar cutover) actually served — so
+    auto-dispatch decisions are observable after the fact (``repro
+    bench`` and the E16 benchmark report them per arm).  ``reset``
+    zeroes the live counters after copying.  ``None`` when the graph
+    has no live bulk kernel (pure-python engines never build one).
+    """
+    csr = graph._csr_cache
+    kernel = csr._bulk if csr is not None else None
+    if kernel is None:
+        return None
+    stats = dict(kernel.dispatch_stats)
+    if reset:
+        for key in kernel.dispatch_stats:
+            kernel.dispatch_stats[key] = 0
+    return stats
 
 
 def bulk_of(graph: Graph) -> "BulkCSRKernel":
@@ -144,6 +179,14 @@ class BulkCSRKernel:
         # Pooled unified label table (lazy; see _multi_pair_chunk_compact).
         "_mp_label",
         "_mp_dirty",
+        # C kernel tier (lazy; see _ckernel) + last stamped restriction
+        # (so the C sweep path can re-stamp its own tables) + per-tier
+        # dispatch counters (what `repro bench` reports as the kernel
+        # tier that actually served each arm).
+        "_ck",
+        "_ck_failed",
+        "_last_stamp",
+        "dispatch_stats",
     )
 
     def __init__(self, csr: CSRGraph, min_bulk_n: Optional[int] = None) -> None:
@@ -153,6 +196,20 @@ class BulkCSRKernel:
         self.m = csr.m
         threshold = _min_bulk_n() if min_bulk_n is None else min_bulk_n
         self.vectorized = n >= threshold
+        self._ck = None
+        self._ck_failed = False
+        self._last_stamp = None
+        #: Which kernel tier actually answered each batch entry point
+        #: (auto-dispatch is otherwise invisible); queries/targets are
+        #: counted, not calls.  Read/reset via ``kernel_dispatch_stats``.
+        self.dispatch_stats = {
+            "pairs_c": 0,
+            "pairs_dense": 0,
+            "pairs_compact": 0,
+            "pairs_cutover": 0,
+            "sweeps_c": 0,
+            "sweeps_numpy": 0,
+        }
         if not self.vectorized:
             return
         # Flat topology as numpy views/copies.  ``indptr`` stays int64
@@ -230,6 +287,10 @@ class BulkCSRKernel:
                     vban[v] = bg
             else:
                 self._vban[verts] = bg
+        # Remember the raw restriction behind this stamp: the C sweep
+        # path re-stamps its own tables from it (the numpy stamp is a
+        # representation detail the C tier cannot read).
+        self._last_stamp = (bg, eids, verts)
         return bg, bool(eids), bool(verts)
 
     def source_banned(self, source: int, ban: Tuple[int, bool, bool]) -> bool:
@@ -238,6 +299,47 @@ class BulkCSRKernel:
             return self.csr.source_banned(source, ban)
         bg, _, have_v = ban
         return have_v and self._vban[source] == bg
+
+    # ------------------------------------------------------------------
+    # C kernel tier dispatch
+    # ------------------------------------------------------------------
+    def _ckernel(self) -> Optional[CKernel]:
+        """The compiled C kernel serving this snapshot, or ``None``.
+
+        ``REPRO_C_KERNEL`` dispatch: ``off`` always returns ``None``,
+        ``auto`` (default) returns the kernel when the library loads
+        and ``None`` otherwise, ``on`` raises on load failure instead
+        of degrading (the CI tier guard).  The mode is re-read per call
+        (benchmark arms flip it between timed runs on one cached
+        kernel); the load attempt and the per-snapshot scratch are
+        resolved once.
+        """
+        mode = c_kernel_mode()
+        if mode == "off" or not self.vectorized:
+            return None
+        ck = self._ck
+        if ck is None:
+            if self._ck_failed and mode != "on":
+                return None
+            lib, detail = load_c_library()
+            if lib is None:
+                self._ck_failed = True
+                if mode == "on":
+                    raise RuntimeError(
+                        f"REPRO_C_KERNEL=on but the C kernel is "
+                        f"unavailable: {detail}"
+                    )
+                return None
+            ck = CKernel(
+                lib, self.n, self.m, self._indptr, self._nbr, self._arc_eid
+            )
+            self._ck = ck
+        return ck
+
+    @property
+    def c_active(self) -> bool:
+        """True when batch entry points currently dispatch to C."""
+        return self._ckernel() is not None
 
     # ------------------------------------------------------------------
     # the bulk kernel
@@ -420,6 +522,13 @@ class BulkCSRKernel:
             return self.csr.bidir_distances(
                 [(source, t) for t in targets], ban
             )
+        ck = self._ckernel()
+        if ck is not None:
+            last = self._last_stamp
+            if last is not None and last[0] == ban[0]:
+                self.dispatch_stats["sweeps_c"] += len(targets)
+                return ck.multi_target_dists(source, targets, last[1], last[2])
+        self.dispatch_stats["sweeps_numpy"] += len(targets)
         bg, _, have_v = ban
         gen = self._gen + 1
         self._gen = gen
@@ -497,6 +606,13 @@ class BulkCSRKernel:
                 ban = csr.stamp_edge_ids(eids, verts)
                 out.append(csr.bidir_distance(source, target, ban))
             return out
+        ck = self._ckernel()
+        if ck is not None:
+            # C tier: the whole batch is one library call — no chunking
+            # and no scalar tail cutover, the per-query fixed cost the
+            # lock-step schedule exists to amortize is gone.
+            self.dispatch_stats["pairs_c"] += len(queries)
+            return ck.multi_pair_dists(queries)
         compact = self._use_compact_labels(queries)
         try:
             chunk = int(os.environ.get("REPRO_BATCH_CHUNK", "0"))
@@ -522,6 +638,8 @@ class BulkCSRKernel:
             # kernel); the cap is generous (>1M queries at n=1000).
             chunk = min(chunk, (2**31 - 1) // max(2 * self.n, 1))
         csr = self.csr
+        stats = self.dispatch_stats
+        label_tier = "pairs_compact" if compact else "pairs_dense"
         out = []
         for lo in range(0, len(queries), chunk):
             part = queries[lo : lo + chunk]
@@ -530,6 +648,7 @@ class BulkCSRKernel:
                 if compact
                 else self._multi_pair_chunk(part)
             )
+            ncut = 0
             for i, d in enumerate(res):
                 if d == _CUTOVER:
                     # Lock-step tail cutover: the chunk retired this
@@ -537,6 +656,11 @@ class BulkCSRKernel:
                     source, target, eids, verts = part[i]
                     ban = csr.stamp_edge_ids(eids, verts)
                     res[i] = csr.bidir_distance(source, target, ban)
+                    ncut += 1
+            # Per-tier counters partition the batch: cutover queries
+            # were served by the scalar kernel, not the label kernel.
+            stats[label_tier] += len(part) - ncut
+            stats["pairs_cutover"] += ncut
             out.extend(res)
         return out
 

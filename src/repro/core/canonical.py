@@ -55,6 +55,19 @@ that abstraction with three interchangeable engines:
     ``lex-csr`` by more than a constant.  Registered only when numpy is
     importable.
 
+``CLexShortestPaths`` (``"lex-c"``, requires :mod:`numpy` + the
+compiled C kernel)
+    The top of the kernel ladder: searches run on the numpy bulk
+    kernel exactly like ``lex-bulk``, while the batched point-query
+    strategies (cross-query multi-pair, shared early-exit sweeps)
+    execute in the compiled C kernel of :mod:`repro.core.ckernel`.
+    Construction fails with a descriptive error when the C kernel
+    cannot load (no compiler, ``REPRO_C_KERNEL=off``); note the plain
+    ``lex-bulk`` tier *also* auto-dispatches to C when it is available
+    (``REPRO_C_KERNEL=auto``) — selecting ``lex-c`` turns that
+    opportunistic acceleration into a guarantee.  See
+    ``docs/kernels.md`` for the full ladder.
+
 Fault simulation is expressed with *banned* vertex/edge sets interpreted
 in the traversal inner loop — restricted graphs like ``G \\ F``,
 ``G(u_k, u_l)`` (Eq. 3) and ``G_D(w_ℓ)`` (Eq. 4) never require copying
@@ -107,8 +120,11 @@ from repro.core.snapshot_cache import SnapshotCache, shared_cache
 
 try:  # The bulk kernel needs numpy; everything else must work without.
     from repro.core.bulk import bulk_of
+    from repro.core.ckernel import c_kernel_mode, c_kernel_status
 except ImportError:  # pragma: no cover - exercised only on numpy-less installs
     bulk_of = None
+    c_kernel_mode = None
+    c_kernel_status = None
 
 #: True when the vectorized bulk kernel (and the ``lex-bulk`` engine /
 #: :class:`BulkDistanceOracle`) are available in this interpreter.
@@ -381,6 +397,65 @@ class BulkLexShortestPaths(CSRLexShortestPaths):
         kernel.bfs(source, ban, target)
         dist, parent = kernel.collect()
         return SearchResult(source, dist, parent)
+
+
+def _require_c_kernel() -> None:
+    """Raise :class:`GraphError` unless the compiled C kernel can serve.
+
+    The ``lex-c`` tier is a *guarantee*, not a hint: constructing it
+    must fail loudly when the C kernel cannot run (numpy missing,
+    ``REPRO_C_KERNEL=off``, no compiler and no prebuilt extension) —
+    silent degradation is what plain ``lex-bulk`` under the default
+    ``REPRO_C_KERNEL=auto`` dispatch is for.
+    """
+    if not HAVE_BULK:
+        raise GraphError(
+            "the lex-c engine requires numpy (the C kernel accelerates "
+            "the numpy kernel's batch entry points), which is not installed"
+        )
+    if c_kernel_mode() == "off":
+        raise GraphError(
+            "the lex-c engine is explicitly disabled (REPRO_C_KERNEL=off); "
+            "use lex-bulk, or unset REPRO_C_KERNEL"
+        )
+    ok, detail = c_kernel_status()
+    if not ok:
+        raise GraphError(
+            f"the lex-c engine requires the compiled C kernel, which is "
+            f"unavailable: {detail}"
+        )
+
+
+class CLexShortestPaths(BulkLexShortestPaths):
+    """Lexicographic canonical shortest paths with the C batch tier.
+
+    Searches behave exactly like :class:`BulkLexShortestPaths` (full
+    canonical searches are level-synchronous numpy expansions — parent
+    tracking has no C port), but the engine asserts at construction
+    that the compiled C kernel of :mod:`repro.core.ckernel` is loaded,
+    and its oracle family (:class:`CDistanceOracle`) answers the
+    batched point-query pipeline's multi-pair and shared-sweep
+    strategies in C.  Output is bit-for-bit identical to every other
+    lex engine (asserted by ``tests/test_csr_equivalence.py`` and the
+    ``tests/test_query_batch.py`` property suites); selecting the tier
+    only moves the wall clock.
+
+    Registered as ``lex-c`` whenever numpy is present; construction
+    raises a descriptive :class:`~repro.core.errors.GraphError` when
+    the C kernel cannot load (no compiler, ``REPRO_C_KERNEL=off``), so
+    pure-python installs keep working with the other engines.
+    """
+
+    name = "lex-c"
+
+    def __init__(
+        self,
+        graph: Graph,
+        cache_size: int = 8_192,
+        cache: Optional[SnapshotCache] = None,
+    ) -> None:
+        _require_c_kernel()
+        super().__init__(graph, cache_size, cache)
 
 
 class LexShortestPaths:
@@ -842,6 +917,34 @@ class BulkDistanceOracle(DistanceOracle):
         return kernel
 
 
+class CDistanceOracle(BulkDistanceOracle):
+    """:class:`BulkDistanceOracle` whose batch paths run in C.
+
+    The oracle family of the ``lex-c`` engine.  Execution-wise it is
+    the bulk oracle — the shared per-snapshot kernel auto-dispatches
+    its batch entry points to C under ``REPRO_C_KERNEL`` — but this
+    class (1) asserts at construction that the C kernel actually
+    loaded, turning silent degradation into a hard error, and (2) owns
+    separate memo namespaces (``pt:c`` / ``vec:c``), so the
+    equivalence property tests always compare independently computed
+    C-tier results instead of another family's cached answers.
+    """
+
+    __slots__ = ()
+
+    _PT_NS = "pt:c"
+    _VEC_NS = "vec:c"
+
+    def __init__(
+        self,
+        graph: Graph,
+        cache_size: int = 262_144,
+        cache: Optional[SnapshotCache] = None,
+    ) -> None:
+        _require_c_kernel()
+        super().__init__(graph, cache_size, cache)
+
+
 class PythonDistanceOracle:
     """Legacy pure-Python stamped BFS oracle (pre-kernel reference).
 
@@ -959,11 +1062,15 @@ LexShortestPaths.oracle_class = PythonDistanceOracle
 CSRLexShortestPaths.oracle_class = DistanceOracle
 PerturbedShortestPaths.oracle_class = DistanceOracle
 BulkLexShortestPaths.oracle_class = BulkDistanceOracle
+CLexShortestPaths.oracle_class = CDistanceOracle
 
 
 #: Registry of available engines, keyed by their ``name``.  The bulk
-#: engine registers only when numpy is importable, so numpy-less
-#: installs keep working with the python kernels.
+#: and C engines register only when numpy is importable, so numpy-less
+#: installs keep working with the python kernels; ``lex-c``
+#: additionally requires the compiled C kernel and raises a clear
+#: error at construction when it cannot load (probing compilability at
+#: import time would be a side effect, so registration is optimistic).
 ENGINES = {
     CSRLexShortestPaths.name: CSRLexShortestPaths,
     LexShortestPaths.name: LexShortestPaths,
@@ -971,6 +1078,7 @@ ENGINES = {
 }
 if HAVE_BULK:
     ENGINES[BulkLexShortestPaths.name] = BulkLexShortestPaths
+    ENGINES[CLexShortestPaths.name] = CLexShortestPaths
 
 #: Default engine used whenever callers pass ``engine=None``.
 DEFAULT_ENGINE = CSRLexShortestPaths.name

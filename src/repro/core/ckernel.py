@@ -1,0 +1,419 @@
+"""Loader + ctypes wrapper for the compiled C batch kernel (``_ckernel.c``).
+
+The fourth tier of the kernel ladder (python → numpy dense → numpy
+compact → C; see ``docs/kernels.md``): the two batch hot paths of the
+point-query pipeline — :meth:`CKernel.multi_pair_dists` and
+:meth:`CKernel.multi_target_dists` — implemented in plain C over the
+same flat CSR arrays every other tier reads.  The C tier removes the
+cost the numpy lock-step kernels cannot: per-round python/array
+dispatch, which dominates on shallow expander workloads whose searches
+finish in 2-3 rounds.  Results are bit-identical to every other tier
+(same exactness argument, same ban-stamp semantics, same ``-1``
+conventions); the only thing that changes is the wall clock.
+
+**Loading.**  ``_ckernel.c`` carries no CPython dependency, so one
+source serves two build paths, tried in order by :func:`load_c_library`:
+
+1. the extension module ``repro.core._ckernel`` built by ``setup.py``
+   (its shared object is opened with :mod:`ctypes` — the module itself
+   is an empty shell that exists so setuptools builds and ships it);
+2. an on-demand build for source checkouts: the bundled C file is
+   compiled once with the system compiler into a content-addressed
+   cache (``~/.cache/repro-parter15`` or ``REPRO_C_KERNEL_CACHE``) and
+   reused across processes.
+
+Both paths failing is not an error: the load outcome is memoized and
+the numpy/python kernels keep serving every query, so pure-python
+installs and compiler-less hosts are unaffected (guaranteed by the
+fallback tests in ``tests/test_query_batch.py``).
+
+Environment knobs (see ``docs/tuning.md``):
+
+``REPRO_C_KERNEL``
+    ``auto`` (default) uses the C kernel whenever it loads, silently
+    degrading otherwise; ``on`` makes load failures raise instead of
+    degrade (CI's tier guard); ``off`` never touches it.
+``REPRO_C_KERNEL_CC``
+    Compiler for the on-demand build (default: ``$CC``, then the
+    interpreter's configured compiler, then ``cc``).
+``REPRO_C_KERNEL_CACHE``
+    Directory for on-demand build artifacts (default:
+    ``~/.cache/repro-parter15``, falling back to the temp dir).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import importlib.util
+import os
+import pathlib
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: ABI tag the wrapper expects; must match the ABI macro in
+#: ``_ckernel.c`` (a mismatched cached build is rejected and rebuilt).
+ABI = 1
+
+_P64 = ctypes.POINTER(ctypes.c_int64)
+_P32 = ctypes.POINTER(ctypes.c_int32)
+
+#: Memoized load outcome: ``None`` until the first attempt, then
+#: ``(library or None, detail string)``.  Tests simulate a broken or
+#: missing extension by monkeypatching this.
+_load_state: Optional[Tuple[Optional[ctypes.CDLL], str]] = None
+
+
+def c_kernel_mode() -> str:
+    """The ``REPRO_C_KERNEL`` dispatch mode: ``auto`` / ``on`` / ``off``.
+
+    Unknown values fall back to ``auto`` (the safe default: use the C
+    kernel when it loads, degrade silently when it does not).
+    """
+    mode = os.environ.get("REPRO_C_KERNEL", "auto").strip().lower()
+    return mode if mode in ("auto", "on", "off") else "auto"
+
+
+def _source_path() -> pathlib.Path:
+    return pathlib.Path(__file__).with_name("_ckernel.c")
+
+
+def _compiler() -> str:
+    cc = os.environ.get("REPRO_C_KERNEL_CC") or os.environ.get("CC")
+    if cc:
+        return cc
+    cc = sysconfig.get_config_var("CC")
+    if cc:
+        return cc.split()[0]  # "gcc -pthread" → "gcc"
+    return "cc"
+
+
+def _cache_dir() -> pathlib.Path:
+    override = os.environ.get("REPRO_C_KERNEL_CACHE")
+    if override:
+        return pathlib.Path(override)
+    base = os.environ.get("XDG_CACHE_HOME")
+    if not base:
+        base = os.path.join(os.path.expanduser("~"), ".cache")
+    return pathlib.Path(base) / "repro-parter15"
+
+
+def _configure(lib: ctypes.CDLL) -> Tuple[Optional[ctypes.CDLL], str]:
+    """Check the ABI tag and declare argtypes; rejects stale builds."""
+    try:
+        lib.repro_ckernel_abi.restype = ctypes.c_int64
+        abi = int(lib.repro_ckernel_abi())
+    except AttributeError:
+        return None, "library lacks the repro_ckernel_abi symbol"
+    if abi != ABI:
+        return None, f"library ABI {abi} != expected {ABI} (stale build)"
+    c64 = ctypes.c_int64
+    c32 = ctypes.c_int32
+    lib.repro_multi_pair_dists.restype = None
+    lib.repro_multi_pair_dists.argtypes = [
+        _P64, _P32, _P32,  # indptr, nbr, arc_eid
+        c64, _P32, _P32,  # nq, q_src, q_tgt
+        _P64, _P32, _P64, _P32,  # eb_off, eb_ids, vb_off, vb_ids
+        c64,  # gen_base
+        _P64, _P32, _P64, _P32,  # visit_s, dist_s, visit_t, dist_t
+        _P64, _P64,  # eban, vban
+        _P32, _P32, _P32, _P32,  # four frontier buffers
+        _P32,  # out
+    ]
+    lib.repro_multi_target_dists.restype = None
+    lib.repro_multi_target_dists.argtypes = [
+        _P64, _P32, _P32,  # indptr, nbr, arc_eid
+        c32, c64, _P32,  # source, ntargets, targets
+        c64, _P32, c64, _P32,  # ne, eb_ids, nv, vb_ids
+        c64,  # gen
+        _P64, _P32,  # visit, dist
+        _P64, _P64,  # eban, vban
+        _P64, _P32,  # tmark, queue
+        _P32,  # out
+    ]
+    return lib, "ok"
+
+
+def _open(path: os.PathLike) -> Tuple[Optional[ctypes.CDLL], str]:
+    try:
+        lib = ctypes.CDLL(str(path))
+    except OSError as err:
+        return None, f"could not load {path}: {err}"
+    return _configure(lib)
+
+
+def _find_prebuilt() -> Optional[str]:
+    """The shared object of the setup.py-built extension, if installed."""
+    try:
+        spec = importlib.util.find_spec("repro.core._ckernel")
+    except (ImportError, ValueError):
+        return None
+    if spec is None or not spec.origin:
+        return None
+    if not spec.origin.endswith((".so", ".dylib", ".pyd", ".dll")):
+        return None
+    return spec.origin
+
+
+def _build_on_demand() -> Tuple[Optional[ctypes.CDLL], str]:
+    """Compile the bundled C source into the cache dir and load it."""
+    src = _source_path()
+    if not src.is_file():
+        return None, "bundled C source _ckernel.c is missing"
+    if sys.platform == "win32":
+        return None, (
+            "on-demand builds are not supported on Windows; install the "
+            "package so setup.py builds the extension"
+        )
+    cc = _compiler()
+    source = src.read_bytes()
+    tag = hashlib.sha256(
+        b"\x00".join((source, cc.encode(), sys.platform.encode()))
+    ).hexdigest()[:16]
+    for base in (_cache_dir(), pathlib.Path(tempfile.gettempdir()) / "repro-parter15"):
+        try:
+            base.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            continue
+        cached = base / f"_ckernel-{tag}.so"
+        if cached.is_file():
+            lib, detail = _open(cached)
+            if lib is not None:
+                detail = f"on-demand build {cached} (cached)"
+            return lib, detail
+        tmp = base / f"_ckernel-{tag}.{os.getpid()}.tmp.so"
+        cmd = [*cc.split(), "-O2", "-shared", "-fPIC", "-o", str(tmp), str(src)]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=180
+            )
+        except (OSError, subprocess.TimeoutExpired) as err:
+            return None, f"C kernel build failed ({cc!r}): {err}"
+        if proc.returncode != 0:
+            detail = (proc.stderr or proc.stdout or "").strip()
+            return None, (
+                f"C kernel build failed ({' '.join(cmd)}): {detail[:400]}"
+            )
+        try:
+            os.replace(tmp, cached)  # atomic vs concurrent builders
+        except OSError as err:
+            return None, f"could not install built kernel: {err}"
+        lib, detail = _open(cached)
+        if lib is not None:
+            detail = f"on-demand build {cached}"
+        return lib, detail
+    return None, "no writable cache directory for the on-demand build"
+
+
+def _load_uncached() -> Tuple[Optional[ctypes.CDLL], str]:
+    prebuilt = _find_prebuilt()
+    if prebuilt is not None:
+        lib, detail = _open(prebuilt)
+        if lib is not None:
+            return lib, f"prebuilt extension {prebuilt}"
+        # fall through: a broken installed build should not poison
+        # source checkouts that can compile on demand
+    return _build_on_demand()
+
+
+def load_c_library() -> Tuple[Optional[ctypes.CDLL], str]:
+    """The loaded C kernel library (or ``None``) plus a detail string.
+
+    The first call attempts the prebuilt extension, then the on-demand
+    build; the outcome — success or the failure reason — is memoized
+    for the life of the process, so compiler-less hosts pay the probe
+    exactly once.
+    """
+    global _load_state
+    if _load_state is None:
+        _load_state = _load_uncached()
+    return _load_state
+
+
+def c_kernel_status() -> Tuple[bool, str]:
+    """``(available, detail)`` — triggers the (memoized) load attempt."""
+    lib, detail = load_c_library()
+    return lib is not None, detail
+
+
+def c_kernel_available() -> bool:
+    """True iff the dispatch mode allows the C kernel and it loads."""
+    if c_kernel_mode() == "off":
+        return False
+    return c_kernel_status()[0]
+
+
+def _p64(arr: np.ndarray):
+    return arr.ctypes.data_as(_P64)
+
+
+def _p32(arr: np.ndarray):
+    return arr.ctypes.data_as(_P32)
+
+
+class CKernel:
+    """Per-snapshot scratch + entry points for the compiled C kernels.
+
+    Owned by a :class:`~repro.core.bulk.BulkCSRKernel` (one per CSR
+    snapshot, like every other pooled scratch set): the CSR topology
+    views are shared with the numpy kernel, the stamped visit/ban
+    tables are allocated once here and recycled with the same
+    generation discipline as the python kernel — the C side never
+    clears anything, it only compares stamps against the generation
+    the wrapper hands it and the wrapper advances its counter past
+    every generation consumed.
+    """
+
+    __slots__ = (
+        "_lib",
+        "n",
+        "m",
+        "_indptr",
+        "_nbr",
+        "_arc_eid",
+        "_visit_s",
+        "_dist_s",
+        "_visit_t",
+        "_dist_t",
+        "_eban",
+        "_vban",
+        "_tmark",
+        "_fr",
+        "_queue",
+        "_gen",
+    )
+
+    def __init__(
+        self,
+        lib: ctypes.CDLL,
+        n: int,
+        m: int,
+        indptr: np.ndarray,
+        nbr: np.ndarray,
+        arc_eid: np.ndarray,
+    ) -> None:
+        self._lib = lib
+        self.n = n
+        self.m = max(m, 1)
+        self._indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self._nbr = np.ascontiguousarray(nbr, dtype=np.int32)
+        self._arc_eid = np.ascontiguousarray(arc_eid, dtype=np.int32)
+        # Stamped scratch (python-kernel pooling invariants 1-3 apply):
+        # generations start at 1, every table starts below any stamp.
+        self._visit_s = np.full(n, -1, dtype=np.int64)
+        self._dist_s = np.zeros(n, dtype=np.int32)
+        self._visit_t = np.full(n, -1, dtype=np.int64)
+        self._dist_t = np.zeros(n, dtype=np.int32)
+        self._eban = np.full(self.m, -1, dtype=np.int64)
+        self._vban = np.full(n, -1, dtype=np.int64)
+        self._tmark = np.zeros(n, dtype=np.int64)
+        self._fr = np.empty((4, max(n, 1)), dtype=np.int32)
+        self._queue = np.empty(max(n, 1), dtype=np.int32)
+        self._gen = 0
+
+    def multi_pair_dists(
+        self, queries: Sequence[Tuple[int, int, Sequence[int], Sequence[int]]]
+    ) -> List[int]:
+        """Exact hops for many independent restricted point queries.
+
+        Same signature and conventions as
+        :meth:`repro.core.bulk.BulkCSRKernel.multi_pair_dists` —
+        ``(source, target, banned_edge_ids, banned_vertices)`` per
+        query, ``-1`` where the restriction cuts the pair.  The whole
+        batch is one C call; no chunking or scalar tail cutover is
+        needed because the per-query fixed cost is a function call.
+        """
+        nq = len(queries)
+        if nq == 0:
+            return []
+        q_src: List[int] = []
+        q_tgt: List[int] = []
+        eb_off: List[int] = [0]
+        vb_off: List[int] = [0]
+        eb_ids: List[int] = []
+        vb_ids: List[int] = []
+        for source, target, eids, verts in queries:
+            q_src.append(source)
+            q_tgt.append(target)
+            eb_ids.extend(eids)
+            vb_ids.extend(verts)
+            eb_off.append(len(eb_ids))
+            vb_off.append(len(vb_ids))
+        out = np.empty(nq, dtype=np.int32)
+        gen_base = self._gen
+        self._gen = gen_base + nq
+        fr = self._fr
+        self._lib.repro_multi_pair_dists(
+            _p64(self._indptr),
+            _p32(self._nbr),
+            _p32(self._arc_eid),
+            nq,
+            _p32(np.asarray(q_src, dtype=np.int32)),
+            _p32(np.asarray(q_tgt, dtype=np.int32)),
+            _p64(np.asarray(eb_off, dtype=np.int64)),
+            _p32(np.asarray(eb_ids, dtype=np.int32)),
+            _p64(np.asarray(vb_off, dtype=np.int64)),
+            _p32(np.asarray(vb_ids, dtype=np.int32)),
+            gen_base,
+            _p64(self._visit_s),
+            _p32(self._dist_s),
+            _p64(self._visit_t),
+            _p32(self._dist_t),
+            _p64(self._eban),
+            _p64(self._vban),
+            _p32(fr[0]),
+            _p32(fr[1]),
+            _p32(fr[2]),
+            _p32(fr[3]),
+            _p32(out),
+        )
+        return out.tolist()
+
+    def multi_target_dists(
+        self,
+        source: int,
+        targets: Sequence[int],
+        eids: Sequence[int],
+        verts: Sequence[int],
+    ) -> List[int]:
+        """Exact hops from ``source`` to each target, one shared sweep.
+
+        The C execution of
+        :meth:`repro.core.bulk.BulkCSRKernel.multi_target_dists`: one
+        FIFO BFS with per-target early exit under one restriction
+        (``eids``/``verts`` resolved ids).  ``-1`` where cut.
+        """
+        nt = len(targets)
+        if nt == 0:
+            return []
+        out = np.empty(nt, dtype=np.int32)
+        gen = self._gen + 1
+        self._gen = gen
+        e_arr = np.asarray(eids, dtype=np.int32)
+        v_arr = np.asarray(verts, dtype=np.int32)
+        self._lib.repro_multi_target_dists(
+            _p64(self._indptr),
+            _p32(self._nbr),
+            _p32(self._arc_eid),
+            source,
+            nt,
+            _p32(np.asarray(targets, dtype=np.int32)),
+            len(e_arr),
+            _p32(e_arr),
+            len(v_arr),
+            _p32(v_arr),
+            gen,
+            _p64(self._visit_s),
+            _p32(self._dist_s),
+            _p64(self._eban),
+            _p64(self._vban),
+            _p64(self._tmark),
+            _p32(self._queue),
+            _p32(out),
+        )
+        return out.tolist()

@@ -112,7 +112,9 @@ Environment knobs:
     shared sweep is preferred over the pair kernel (default ``16``).
 ``REPRO_BATCH_PAIR_MIN``
     Minimum residual pair count before the cross-query multi-pair
-    kernel is preferred over the pooled scalar loop (default ``24``).
+    kernel is preferred over the pooled scalar loop (default ``24``;
+    ``4`` when the C kernel tier serves the entry point, whose
+    per-batch fixed cost is far smaller — see ``REPRO_C_KERNEL``).
 ``REPRO_BATCH_REPAIR_MAX``
     Per-query region budget for the tree-repair strategy (default
     ``16``; a k-target group affords a k-times-larger region).
@@ -141,6 +143,11 @@ DEFAULT_SWEEP_MIN_TARGETS = 16
 #: before the cross-query multi-pair kernel beats scalar bidirectional
 #: queries (per-chunk numpy fixed costs dominate below it).
 DEFAULT_PAIR_MIN = 24
+#: The same threshold when the C kernel tier serves the multi-pair
+#: entry point: its per-batch fixed cost is one library call plus a
+#: small marshalling loop, so even tiny residues beat the pooled
+#: python scalar loop.
+DEFAULT_PAIR_MIN_C = 4
 
 
 def sweep_min_targets() -> int:
@@ -154,13 +161,16 @@ def sweep_min_targets() -> int:
         return DEFAULT_SWEEP_MIN_TARGETS
 
 
-def pair_min() -> int:
+def pair_min(c_active: bool = False) -> int:
     """Residual pair count that justifies the cross-query multi-pair
-    kernel (``REPRO_BATCH_PAIR_MIN``)."""
+    kernel (``REPRO_BATCH_PAIR_MIN``); the default drops from 24 to 4
+    when the C kernel tier serves the entry point (its per-batch fixed
+    cost is far below a numpy chunk's)."""
+    default = DEFAULT_PAIR_MIN_C if c_active else DEFAULT_PAIR_MIN
     try:
-        return int(os.environ.get("REPRO_BATCH_PAIR_MIN", DEFAULT_PAIR_MIN))
+        return int(os.environ.get("REPRO_BATCH_PAIR_MIN", default))
     except ValueError:
-        return DEFAULT_PAIR_MIN
+        return default
 
 
 #: Largest affected region the tree-repair fast path will handle before
@@ -756,10 +766,11 @@ class PointQueryBatch:
         # lock-step; small residues (or python-kernel oracles) loop the
         # pooled scalar query, one stamping per restriction.
         if residual:
+            c_active = vectorized and getattr(kernel, "c_active", False)
             if (
                 vectorized
                 and hasattr(kernel, "multi_pair_dists")
-                and len(residual) >= pair_min()
+                and len(residual) >= pair_min(c_active)
             ):
                 queries = [
                     (unique[slot][0], unique[slot][1], unique[slot][2], unique[slot][3])

@@ -26,6 +26,8 @@ from repro.core.canonical import (
     INF,
     BulkDistanceOracle,
     BulkLexShortestPaths,
+    CDistanceOracle,
+    CLexShortestPaths,
     CSRLexShortestPaths,
     DistanceOracle,
     LexShortestPaths,
@@ -34,12 +36,20 @@ from repro.core.canonical import (
     make_engine,
     multi_source_distances,
 )
+from repro.core.ckernel import c_kernel_available
 from repro.core.csr import csr_of
 from repro.core.errors import GraphError
 from repro.core.graph import Graph
 from repro.generators import erdos_renyi, path_graph
 
 from tests.zoo import zoo_params
+
+#: The ``lex-c`` tier needs a loadable C kernel (compiler or prebuilt
+#: extension); hosts without one run the rest of the suite plus the
+#: fallback tests in tests/test_query_batch.py.
+needs_ckernel = pytest.mark.skipif(
+    not c_kernel_available(), reason="compiled C kernel unavailable"
+)
 
 
 def force_vectorized(graph):
@@ -59,6 +69,18 @@ def forced_bulk_oracle(graph):
     """A :class:`BulkDistanceOracle` sweeping on the forced numpy kernel."""
     force_vectorized(graph)
     return BulkDistanceOracle(graph)
+
+
+def forced_c_engine(graph):
+    """A ``lex-c`` engine whose kernel always takes the vectorized path."""
+    force_vectorized(graph)
+    return CLexShortestPaths(graph)
+
+
+def forced_c_oracle(graph):
+    """A :class:`CDistanceOracle` over the forced vectorized kernel."""
+    force_vectorized(graph)
+    return CDistanceOracle(graph)
 
 
 def random_restriction(graph, rng, max_edges=3, max_vertices=3, forbid=(0,)):
@@ -151,6 +173,37 @@ def test_multi_source_batch_matches_per_source(name, graph):
         assert bvec == expect
 
 
+@needs_ckernel
+@zoo_params()
+def test_c_tier_engine_and_oracle_equivalence(name, graph):
+    """The ``lex-c`` tier is bit-identical to the legacy reference.
+
+    Engine searches must match the legacy engine observable-for-
+    observable, and the C oracle's batch-first surface
+    (``distances_bulk``, which routes through the C multi-pair /
+    shared-sweep kernels) must agree element-for-element with per-pair
+    legacy scalar queries.
+    """
+    legacy = LexShortestPaths(graph)
+    eng = forced_c_engine(graph)
+    oracle = forced_c_oracle(graph)
+    old = PythonDistanceOracle(graph)
+    rng = random.Random(7 + (hash(name) & 0xFFFF))
+    for trial in range(10):
+        be, bv = random_restriction(graph, rng)
+        res_l = legacy.search(0, banned_edges=be, banned_vertices=bv)
+        res_c = eng.search(0, banned_edges=be, banned_vertices=bv)
+        assert res_l.distances() == res_c.distances()
+        for v in graph.vertices():
+            assert res_l.parent(v) == res_c.parent(v)
+        pairs = [
+            (rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(12)
+        ]
+        assert oracle.distances_bulk(pairs, be, bv) == [
+            old.distance(s, t, be, bv) for s, t in pairs
+        ]
+
+
 @zoo_params()
 def test_perturbed_csr_inner_loop_matches_lex_distances(name, graph):
     """The CSR-rewritten Dijkstra still yields hop-exact distances."""
@@ -169,6 +222,35 @@ class TestEngineContract:
 
     def test_bulk_engine_pairs_with_bulk_oracle(self):
         assert BulkLexShortestPaths.oracle_class is BulkDistanceOracle
+
+    def test_c_engine_pairs_with_c_oracle(self):
+        assert CLexShortestPaths.oracle_class is CDistanceOracle
+        assert CDistanceOracle._PT_NS != BulkDistanceOracle._PT_NS
+
+    @needs_ckernel
+    def test_c_engine_registered_and_constructible(self):
+        g = path_graph(4)
+        eng = make_engine(g, "lex-c")
+        assert isinstance(eng, CLexShortestPaths)
+        assert eng.search(0).dist(3) == 3
+
+    def test_c_engine_refuses_when_disabled(self, monkeypatch):
+        """``lex-c`` is a guarantee: REPRO_C_KERNEL=off must make its
+        construction fail loudly, never degrade silently."""
+        monkeypatch.setenv("REPRO_C_KERNEL", "off")
+        with pytest.raises(GraphError, match="disabled"):
+            CLexShortestPaths(path_graph(4))
+        with pytest.raises(GraphError, match="disabled"):
+            CDistanceOracle(path_graph(4))
+
+    def test_c_engine_refuses_when_kernel_broken(self, monkeypatch):
+        from repro.core import ckernel
+
+        monkeypatch.setattr(
+            ckernel, "_load_state", (None, "simulated broken extension")
+        )
+        with pytest.raises(GraphError, match="simulated broken extension"):
+            CLexShortestPaths(path_graph(4))
 
     def test_bulk_delegates_below_threshold(self):
         """On small graphs the bulk kernel hands off to the python

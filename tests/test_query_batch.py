@@ -16,13 +16,16 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core import ckernel
 from repro.core.bulk import BulkCSRKernel
 from repro.core.canonical import (
     INF,
     BulkDistanceOracle,
+    CDistanceOracle,
     DistanceOracle,
     PythonDistanceOracle,
 )
+from repro.core.ckernel import c_kernel_available
 from repro.core.csr import csr_of
 from repro.core.query_batch import (
     LegacyQueryBatch,
@@ -37,6 +40,15 @@ from repro.replacement.base import SourceContext
 from tests.zoo import zoo_params
 
 
+#: C-tier cases are skipped (not silently dropped) where the compiled
+#: kernel cannot load; the fallback behavior itself is tested below
+#: with a simulated broken extension, so compiler-less hosts still
+#: exercise the degradation path.
+needs_ckernel = pytest.mark.skipif(
+    not c_kernel_available(), reason="compiled C kernel unavailable"
+)
+
+
 def forced_bulk_oracle(graph):
     """A bulk oracle whose kernel always takes the vectorized path."""
     csr = csr_of(graph)
@@ -44,12 +56,22 @@ def forced_bulk_oracle(graph):
     return BulkDistanceOracle(graph)
 
 
+def forced_c_oracle(graph):
+    """A C-tier oracle over the forced vectorized kernel."""
+    csr = csr_of(graph)
+    csr._bulk = BulkCSRKernel(csr, min_bulk_n=0)
+    return CDistanceOracle(graph)
+
+
 def oracle_families(graph):
-    return [
+    families = [
         ("python", PythonDistanceOracle(graph)),
         ("csr", DistanceOracle(graph)),
         ("bulk", forced_bulk_oracle(graph)),
     ]
+    if c_kernel_available():
+        families.append(("c", forced_c_oracle(graph)))
+    return families
 
 
 def random_requests(graph, rng, count, max_edges=3, max_vertices=2):
@@ -228,7 +250,10 @@ def test_forced_vectorized_batches_match_scalar(n, p, seed):
         assert handle.distance == reference.distance(*req)
 
 
-def test_multi_target_dists_matches_bidir():
+def test_multi_target_dists_matches_bidir(monkeypatch):
+    # C off: this test exercises the *numpy* shared-sweep path, which
+    # auto-dispatch would otherwise route to the C kernel.
+    monkeypatch.setenv("REPRO_C_KERNEL", "off")
     g = erdos_renyi(40, 0.12, seed=21)
     csr = csr_of(g)
     kernel = BulkCSRKernel(csr, min_bulk_n=0)
@@ -249,6 +274,8 @@ def test_multi_pair_label_kernels_match_bidir(labels, monkeypatch):
     """Both multi-pair label representations (dense scatter tables and
     compact unified-label pools) are exact, under every ban shape."""
     monkeypatch.setenv("REPRO_PAIR_LABELS", labels)
+    # C off: the label representations under test are the numpy paths.
+    monkeypatch.setenv("REPRO_C_KERNEL", "off")
     for g in (
         path_graph(40),
         erdos_renyi(60, 0.08, seed=2),
@@ -273,9 +300,10 @@ def test_multi_pair_label_kernels_match_bidir(labels, monkeypatch):
             assert d == csr.bidir_distance(s, t, ban), (labels, g.n)
 
 
-def test_multi_pair_dists_matches_bidir_including_cutover():
+def test_multi_pair_dists_matches_bidir_including_cutover(monkeypatch):
     # path graphs force long distances, exercising the lock-step tail
-    # cutover to the scalar kernel
+    # cutover to the scalar kernel (a numpy-path mechanism: C off)
+    monkeypatch.setenv("REPRO_C_KERNEL", "off")
     for g in (path_graph(40), erdos_renyi(60, 0.08, seed=2)):
         csr = csr_of(g)
         kernel = BulkCSRKernel(csr, min_bulk_n=0)
@@ -294,6 +322,125 @@ def test_multi_pair_dists_matches_bidir_including_cutover():
         for (s, t, eids, verts), d in zip(queries, got):
             ban = csr.stamp_edge_ids(eids, verts)
             assert d == csr.bidir_distance(s, t, ban)
+
+
+def _mixed_queries(g, csr, rng, count):
+    """Random (source, target, eids, verts) resolved-id queries."""
+    edges = sorted(g.edges())
+    queries = []
+    for _ in range(count):
+        s = rng.randrange(g.n)
+        t = rng.randrange(g.n)
+        eids = sorted(
+            csr.resolve_edge_ids(rng.sample(edges, k=rng.randrange(0, 4)))
+        )
+        verts = sorted(rng.sample(range(g.n), k=rng.randrange(0, 2)))
+        queries.append((s, t, eids, verts))
+    return queries
+
+
+@needs_ckernel
+def test_c_kernel_multi_pair_and_targets_match_scalar():
+    """The C batch kernels are bit-identical to the scalar reference
+    across ban shapes, long-distance pairs, and shared sweeps."""
+    for g in (
+        path_graph(40),
+        erdos_renyi(60, 0.08, seed=2),
+        tree_plus_chords(90, 35, seed=4),
+    ):
+        csr = csr_of(g)
+        kernel = BulkCSRKernel(csr, min_bulk_n=0)
+        assert kernel.c_active
+        rng = random.Random(g.n)
+        queries = _mixed_queries(g, csr, rng, 90)
+        got = kernel.multi_pair_dists(queries)
+        assert kernel.dispatch_stats["pairs_c"] == 90  # C really served
+        for (s, t, eids, verts), d in zip(queries, got):
+            ban = csr.stamp_edge_ids(eids, verts)
+            assert d == csr.bidir_distance(s, t, ban), (g.n, s, t)
+        edges = sorted(g.edges())
+        for _ in range(8):
+            eids = csr.resolve_edge_ids(rng.sample(edges, k=rng.randrange(0, 4)))
+            verts = rng.sample(range(1, g.n), k=rng.randrange(0, 2))
+            targets = rng.sample(range(g.n), k=10) + [0]  # incl. source
+            ban = kernel.stamp_edge_ids(eids, verts)
+            got = kernel.multi_target_dists(0, targets, ban)
+            for t, d in zip(targets, got):
+                ban2 = csr.stamp_edge_ids(eids, verts)
+                assert d == csr.bidir_distance(0, t, ban2), (g.n, t)
+        assert kernel.dispatch_stats["sweeps_c"] > 0
+
+
+def test_c_kernel_fallback_lands_on_numpy(monkeypatch):
+    """A missing/broken extension silently degrades to the numpy kernel
+    with identical output (the pure-python-install guarantee)."""
+    g = erdos_renyi(60, 0.08, seed=2)
+    csr = csr_of(g)
+    rng = random.Random(11)
+    queries = _mixed_queries(g, csr, rng, 60)
+    want = []
+    for s, t, eids, verts in queries:
+        ban = csr.stamp_edge_ids(eids, verts)
+        want.append(csr.bidir_distance(s, t, ban))
+    # Simulate the load having failed (no compiler, broken .so, ...)
+    # under the default dispatch mode (CI's tier guard exports
+    # REPRO_C_KERNEL=on, under which a broken load raises by design —
+    # the silent-degradation contract under test here is auto's).
+    monkeypatch.setenv("REPRO_C_KERNEL", "auto")
+    monkeypatch.setattr(
+        ckernel, "_load_state", (None, "simulated missing extension")
+    )
+    kernel = BulkCSRKernel(csr, min_bulk_n=0)
+    assert not kernel.c_active
+    assert kernel.multi_pair_dists(queries) == want
+    assert kernel.dispatch_stats["pairs_c"] == 0
+    # the tier counters partition the batch: numpy labels + the
+    # scalar-served lock-step tail
+    assert (
+        kernel.dispatch_stats["pairs_dense"]
+        + kernel.dispatch_stats["pairs_compact"]
+        + kernel.dispatch_stats["pairs_cutover"]
+        == len(queries)
+    )
+    # The whole batched pipeline stays exact on the degraded kernel.
+    csr._bulk = kernel
+    oracle = BulkDistanceOracle(g)
+    reference = PythonDistanceOracle(g)
+    requests = random_requests(g, rng, 30)
+    batch = oracle.batch()
+    handles = [batch.add(*req) for req in requests]
+    shared_cache().clear()
+    batch.execute()
+    assert [h.distance for h in handles] == [
+        reference.distance(*req) for req in requests
+    ]
+
+
+def test_c_kernel_off_env_forces_numpy(monkeypatch):
+    """REPRO_C_KERNEL=off routes around a perfectly healthy C kernel."""
+    monkeypatch.setenv("REPRO_C_KERNEL", "off")
+    g = erdos_renyi(50, 0.1, seed=3)
+    csr = csr_of(g)
+    kernel = BulkCSRKernel(csr, min_bulk_n=0)
+    assert not kernel.c_active
+    queries = _mixed_queries(g, csr, random.Random(4), 40)
+    got = kernel.multi_pair_dists(queries)
+    assert kernel.dispatch_stats["pairs_c"] == 0
+    for (s, t, eids, verts), d in zip(queries, got):
+        ban = csr.stamp_edge_ids(eids, verts)
+        assert d == csr.bidir_distance(s, t, ban)
+
+
+def test_c_kernel_on_raises_when_broken(monkeypatch):
+    """REPRO_C_KERNEL=on turns silent degradation into a hard error."""
+    monkeypatch.setenv("REPRO_C_KERNEL", "on")
+    monkeypatch.setattr(
+        ckernel, "_load_state", (None, "simulated broken extension")
+    )
+    g = erdos_renyi(30, 0.15, seed=5)
+    kernel = BulkCSRKernel(csr_of(g), min_bulk_n=0)
+    with pytest.raises(RuntimeError, match="simulated broken extension"):
+        kernel.multi_pair_dists([(0, 5, [], [])])
 
 
 def test_tree_repair_exactness_all_regions(monkeypatch):
@@ -355,7 +502,15 @@ def test_repair_cap_controls_strategy(monkeypatch):
     assert results["0"] == results["100000"]
 
 
-@pytest.mark.parametrize("engine", ["lex", "lex-csr", "lex-bulk"])
+@pytest.mark.parametrize(
+    "engine",
+    [
+        "lex",
+        "lex-csr",
+        "lex-bulk",
+        pytest.param("lex-c", marks=needs_ckernel),
+    ],
+)
 def test_cons2_builds_identical_with_and_without_batching(engine, monkeypatch):
     g = tree_plus_chords(40, 18, seed=6)
     structures = {}
