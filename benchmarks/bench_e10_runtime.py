@@ -45,6 +45,12 @@ Environment knobs (used by CI's quick smoke run):
     (default 0, i.e. informational; the nightly full-ladder run sets
     1.0 — the bulk kernel must not fall behind the python kernel at
     n=1000).
+``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_MIN_PARALLEL_SCALING``
+    Worker-count axis and scaling floor of the cores-axis arm
+    (:func:`_common.jobs_axis` / :func:`_common.scaling_floor`):
+    the per-tree-edge sensitivity tabulation — the O(n·m)
+    preprocessing pass of the paper's oracle lineage — re-timed under
+    a process pool, tables asserted identical to the serial run.
 """
 
 import math
@@ -53,6 +59,7 @@ import time
 
 import pytest
 
+from repro.core import parallel
 from repro.ftbfs import (
     FTQueryOracle,
     build_approx_ftmbfs,
@@ -61,9 +68,18 @@ from repro.ftbfs import (
     build_generic_ftbfs,
     build_single_ftbfs,
 )
+from repro.ftbfs.sensitivity import SingleFaultDistanceOracle
 from repro.generators import erdos_renyi, sample_queries
 
-from _common import cold_cache, emit, emit_json, engine_arms, table
+from _common import (
+    cold_cache,
+    emit,
+    emit_json,
+    engine_arms,
+    jobs_axis,
+    scaling_floor,
+    table,
+)
 
 N, P, SEED = 80, 0.07, 20
 
@@ -271,4 +287,91 @@ def test_e10_engine_speedup(benchmark):
     q_small = sample_queries(g_small, 2, 50, seed=3)
     benchmark.pedantic(
         lambda: _suite(g_small, q_small, "lex-csr"), rounds=1, iterations=1
+    )
+
+
+def test_e10_cores_axis(benchmark):
+    """Process-pool scaling of the O(n·m) sensitivity tabulation.
+
+    Rebuilds :class:`SingleFaultDistanceOracle` — one restricted BFS
+    per tree edge, the preprocessing pass E10's query arm depends on —
+    at every worker count of :func:`_common.jobs_axis`, asserting the
+    tabulated distance vectors are identical to the serial build and
+    applying ``REPRO_BENCH_MIN_PARALLEL_SCALING`` only to arms the
+    host has cores for.
+    """
+    n, p = 400, 0.02
+    g = erdos_renyi(n, p, seed=SEED)
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+    axis = jobs_axis()
+    floor = scaling_floor()
+    cores = os.cpu_count() or 1
+    rows = []
+    arms = []
+    base_tables = None
+    base_seconds = None
+    for j in axis:
+        best = float("inf")
+        best_stats = {}
+        oracle = None
+        for _ in range(rounds):
+            cold_cache()
+            t0 = time.perf_counter()
+            oracle = SingleFaultDistanceOracle(g, 0, jobs=j)
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+                best_stats = parallel.last_run_stats() if j > 1 else {}
+        tables = {e: list(t) for e, t in oracle._tables.items()}
+        if base_tables is None:
+            base_tables = tables
+            base_seconds = best
+        else:
+            assert tables == base_tables, (
+                f"jobs={j} sensitivity tables diverged from the serial build"
+            )
+        scaling = base_seconds / best if best else 0.0
+        effective = best_stats.get("effective_jobs", 1)
+        degraded = best_stats.get("degraded")
+        enforced = bool(floor) and j > 1 and cores >= j and not degraded
+        rows.append(
+            [j, effective, f"{best:.3f}", f"{scaling:.2f}x",
+             "yes" if enforced else "no"]
+        )
+        arms.append(
+            {
+                "jobs": j,
+                "effective_jobs": effective,
+                "seconds": best,
+                "scaling_vs_serial": scaling,
+                "degraded": degraded,
+                "floor_enforced": enforced,
+            }
+        )
+        if enforced:
+            assert scaling >= floor, (
+                f"sensitivity tabulation scaled only {scaling:.2f}x at "
+                f"jobs={j} on a {cores}-core host (required {floor}x)"
+            )
+    body = table(["jobs", "effective", "seconds", "scaling", "floor"], rows)
+    body += (
+        f"\nSingleFaultDistanceOracle preprocessing ({oracle.preprocessing_tables} "
+        f"tree-edge tables) on er n={n} p={p}, best of {rounds} rounds; "
+        f"\ntables identical across arms; host has {cores} core(s), "
+        f"floor={floor or 'off'}."
+    )
+    emit("E10-cores", "sensitivity-oracle preprocessing cores axis", body)
+    emit_json(
+        "e10_cores",
+        {
+            "experiment": "e10_cores_axis",
+            "workload": ["er", n, p],
+            "cores": cores,
+            "rounds": rounds,
+            "floor": floor,
+            "arms": arms,
+        },
+    )
+    benchmark.pedantic(
+        lambda: SingleFaultDistanceOracle(g, 0, jobs=1), rounds=1, iterations=1
     )

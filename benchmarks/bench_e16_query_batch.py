@@ -75,20 +75,31 @@ Environment knobs (used by CI's smoke run):
     scalar baseline (default 0; the nightly enforces 1.0 at n=1000).
 ``REPRO_BENCH_ROUNDS``
     Best-of rounds per arm (default 2).
+``REPRO_E16_SOURCES``
+    Source count σ of the sharded multi-source build arm (default 4;
+    the unit :mod:`repro.core.parallel` distributes across a process
+    pool).
+``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_MIN_PARALLEL_SCALING``
+    Worker-count axis and speedup floor of the parallel build arm
+    (see :func:`_common.jobs_axis` / :func:`_common.scaling_floor`);
+    the floor is applied only to job counts the host has cores for.
 """
 
 import contextlib
+import json
 import os
 import time
 
+from repro.core import parallel
 from repro.core.bulk import kernel_dispatch_stats
 from repro.core.ckernel import c_kernel_available
 from repro.core.snapshot_cache import shared_cache
 from repro.ftbfs.cons2ftbfs import build_cons2ftbfs, feasibility_probes
+from repro.ftbfs.generic import build_ft_mbfs
 from repro.generators import erdos_renyi, tree_plus_chords
 from repro.replacement.base import SourceContext
 
-from _common import emit, emit_json, table
+from _common import RESULTS_DIR, emit, emit_json, jobs_axis, scaling_floor, table
 
 BATCH_ENGINE = "lex-bulk"
 C_ENGINE = "lex-c"
@@ -472,6 +483,116 @@ def test_e16_end_to_end_build(benchmark):
         )
     benchmark.pedantic(
         lambda: build_cons2ftbfs(g, 0, engine=BATCH_ENGINE),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e16_parallel_build(benchmark):
+    """Sharded σ-source build across the jobs axis, bit-identity enforced.
+
+    Times the same ``build_ft_mbfs`` workload (σ sources ×
+    ``build_cons2ftbfs``) at every worker count of
+    :func:`_common.jobs_axis`, asserts every parallel arm's structure
+    is *bit-identical* to ``jobs=1``, and applies
+    ``REPRO_BENCH_MIN_PARALLEL_SCALING`` to arms the host actually has
+    cores for (a 1-core box records the axis as informational instead
+    of failing on pool overhead).  The records merge into
+    ``BENCH_e16.json`` under a ``"parallel"`` key so scaling history
+    rides the same artifact as the batching history.
+    """
+    kind, n, arg = _sizes()[0]
+    g = _graph(kind, n, arg)
+    sigma = max(2, int(os.environ.get("REPRO_E16_SOURCES", "4")))
+    sources = list(range(min(sigma, g.n)))
+    rounds = _rounds()
+    axis = jobs_axis()
+    floor = scaling_floor()
+    cores = os.cpu_count() or 1
+    rows = []
+    arms = []
+    baseline_edges = None
+    baseline_seconds = None
+    for j in axis:
+        best = float("inf")
+        best_stats = {}
+        for _ in range(rounds):
+            shared_cache().clear()
+            t0 = time.perf_counter()
+            h = build_ft_mbfs(
+                g, sources, 2, builder=build_cons2ftbfs,
+                jobs=j, engine=BATCH_ENGINE,
+            )
+            elapsed = time.perf_counter() - t0
+            if elapsed < best:
+                best = elapsed
+                best_stats = parallel.last_run_stats() if j > 1 else {}
+        if baseline_edges is None:
+            baseline_edges = h.edges
+            baseline_seconds = best
+        else:
+            assert h.edges == baseline_edges, (
+                f"jobs={j} build diverged from the jobs=1 structure"
+            )
+        scaling = baseline_seconds / best if best else 0.0
+        effective = best_stats.get("effective_jobs", 1)
+        degraded = best_stats.get("degraded")
+        enforced = bool(floor) and j > 1 and cores >= j and not degraded
+        rows.append(
+            [
+                j,
+                effective,
+                f"{best:.3f}",
+                f"{scaling:.2f}x",
+                f"{1000.0 * best_stats.get('merge_seconds', 0.0):.1f}",
+                "yes" if enforced else "no",
+            ]
+        )
+        arms.append(
+            {
+                "jobs": j,
+                "effective_jobs": effective,
+                "seconds": best,
+                "scaling_vs_serial": scaling,
+                "merge_seconds": best_stats.get("merge_seconds", 0.0),
+                "degraded": degraded,
+                "floor_enforced": enforced,
+            }
+        )
+        if enforced:
+            assert scaling >= floor, (
+                f"σ={sigma} sharded build scaled only {scaling:.2f}x at "
+                f"jobs={j} on a {cores}-core host (required {floor}x)"
+            )
+    body = table(
+        ["jobs", "effective", "seconds", "scaling", "merge (ms)", "floor"],
+        rows,
+    )
+    body += (
+        f"\nσ={sigma}-source build_ft_mbfs(cons2) on {kind} n={n}, "
+        f"\nbest of {rounds} rounds; structures bit-identical across "
+        f"arms; host has {cores} core(s), floor={floor or 'off'}."
+    )
+    emit("E16-parallel", "sharded multi-source build scaling", body)
+    record = {
+        "workload": [kind, n, arg],
+        "sources": sigma,
+        "cores": cores,
+        "rounds": rounds,
+        "floor": floor,
+        "arms": arms,
+    }
+    # Merge into the E16 artifact the feasibility test wrote earlier in
+    # this run (or a previous one) rather than clobbering it.
+    path = RESULTS_DIR / "BENCH_e16.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["parallel"] = record
+    emit_json("e16", payload)
+    benchmark.pedantic(
+        lambda: build_ft_mbfs(
+            g, sources[:2], 2, builder=build_cons2ftbfs,
+            jobs=1, engine=BATCH_ENGINE,
+        ),
         rounds=1,
         iterations=1,
     )

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core import parallel
 from repro.core.canonical import DistanceOracle, UNREACHED
 from repro.core.graph import Edge, Graph, normalize_edges
 from repro.ftbfs.structures import FTStructure
@@ -57,25 +58,75 @@ class StretchProfile:
         )
 
 
+def _stretch_shard(payload, chunk):
+    """Pool task: per-fault-set distance vector pairs for the sweep.
+
+    Returns ``(G \\ F, H \\ F)`` full distance vectors per fault set —
+    the BFS work, which dominates — and leaves the scalar accumulation
+    to the parent, which runs the *original* serial loop over the
+    reassembled vectors, so every float is accumulated in the same
+    order and the profile is bit-identical to ``jobs=1``.
+    """
+    n, g_edges, h_edges, source = payload
+    g = Graph(n, g_edges)
+    h = Graph(n, h_edges)
+    parallel.worker_counters_begin()
+    g_oracle = DistanceOracle(g)
+    h_oracle = DistanceOracle(h)
+    vecs = [
+        (
+            list(g_oracle.distances_from(source, banned_edges=faults)),
+            list(h_oracle.distances_from(source, banned_edges=faults)),
+        )
+        for faults in chunk
+    ]
+    return vecs, parallel.worker_counters_end(g)
+
+
 def stretch_profile(
     graph: Graph,
     edges: Iterable[Sequence[int]],
     source: int,
     fault_sets: Iterable[Tuple[Edge, ...]],
+    jobs=None,
 ) -> StretchProfile:
-    """Measure stretch of the subgraph over the given fault workload."""
+    """Measure stretch of the subgraph over the given fault workload.
+
+    ``jobs`` (default: ``REPRO_JOBS``) shards the per-fault-set BFS
+    sweeps across a process pool; the accumulation over the returned
+    distance vectors stays in the parent and runs in workload order,
+    so the profile — floats included — is bit-identical to ``jobs=1``.
+    """
     h = graph.edge_subgraph(normalize_edges(edges))
-    g_oracle = DistanceOracle(graph)
-    h_oracle = DistanceOracle(h)
+    fault_list = list(fault_sets)
+    njobs = parallel.effective_jobs(jobs, items=len(fault_list))
+    if njobs > 1 and len(fault_list) > 1:
+        payload = (graph.n, sorted(graph.edges()), sorted(h.edges()), source)
+        sharded = parallel.run_sharded(
+            _stretch_shard,
+            fault_list,
+            payload=payload,
+            jobs=njobs,
+            label="stretch-profile",
+        )
+        vec_pairs = iter(sharded)
+    else:
+        g_oracle = DistanceOracle(graph)
+        h_oracle = DistanceOracle(h)
+        vec_pairs = (
+            (
+                g_oracle.distances_from(source, banned_edges=faults),
+                h_oracle.distances_from(source, banned_edges=faults),
+            )
+            for faults in fault_list
+        )
     pairs = 0
     exact = 0
     max_mult = 1.0
     sum_mult = 0.0
     max_add = 0
     cut = 0
-    for faults in fault_sets:
-        gd = g_oracle.distances_from(source, banned_edges=faults)
-        hd = h_oracle.distances_from(source, banned_edges=faults)
+    for gd, hd in vec_pairs:
         for v in range(graph.n):
             if v == source or gd[v] == UNREACHED:
                 continue
@@ -104,12 +155,16 @@ def structure_stretch(
     structure: FTStructure,
     max_faults: int,
     fault_sets: Optional[Iterable[Tuple[Edge, ...]]] = None,
+    jobs=None,
 ) -> StretchProfile:
-    """Stretch of a built structure under a (possibly larger) fault budget."""
+    """Stretch of a built structure under a (possibly larger) fault budget.
+
+    ``jobs`` passes through to :func:`stretch_profile`'s sharded sweep.
+    """
     if fault_sets is None:
         fault_sets = list(all_fault_sets(structure.graph, max_faults))
     return stretch_profile(
-        structure.graph, structure.edges, structure.source, fault_sets
+        structure.graph, structure.edges, structure.source, fault_sets, jobs=jobs
     )
 
 

@@ -33,7 +33,12 @@ hit/miss/eviction counters and the speculative step-3
 hit/miss/discard counters of one cold build; the process-wide
 snapshot cache (which lets builders share restricted-search results)
 is cleared before every timed round so no engine is measured against
-another's warm cache.
+another's warm cache.  ``bench --sources K --jobs J`` times a σ=K
+FT-MBFS build and adds a parallel arm per engine that re-runs it
+sharded over a J-worker process pool (:mod:`repro.core.parallel`),
+printing the effective jobs/threads, the speedup vs ``--jobs 1`` and
+the merge overhead; on a 1-core host the parallel arm is skipped with
+a note instead of reporting noise.
 
 Graph specifications (``--graph``)::
 
@@ -47,6 +52,7 @@ Graph specifications (``--graph``)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -84,6 +90,30 @@ BUILDERS: Dict[str, Callable] = {
 #: Builders that ignore the canonical engine entirely; the CLI refuses
 #: to pretend an ``--engine`` choice affected them.
 ENGINE_AGNOSTIC_BUILDERS = {"approx"}
+
+#: Module-level single-source builders + fault budget per ``--builder``
+#: name, for the σ-source sharded arm of ``repro bench`` (the lambdas
+#: in ``BUILDERS`` cannot cross a process-pool boundary).
+MBFS_BUILDERS: Dict[str, tuple] = {
+    "cons2": (build_cons2ftbfs, 2),
+    "simple": (build_dual_ftbfs_simple, 2),
+    "single": (build_single_ftbfs, 1),
+    "generic": (build_generic_ftbfs, None),  # budget comes from --f
+}
+
+
+def _mbfs_build(name: str, graph: Graph, sources, f: int, engine, jobs):
+    """One σ-source FT-MBFS build for ``repro bench --sources K``."""
+    from repro.ftbfs.generic import build_ft_mbfs
+
+    func, budget = MBFS_BUILDERS[name]
+    kwargs = {"engine": engine}
+    if budget is None:
+        budget = f
+        kwargs["max_faults"] = f
+    return build_ft_mbfs(
+        graph, sources, budget, builder=func, jobs=jobs, **kwargs
+    )
 
 
 def parse_graph_spec(spec: str) -> Graph:
@@ -226,6 +256,8 @@ def _kernel_tier_label(engine: str, stats: Optional[Dict[str, int]]) -> str:
     if not stats or not any(stats.values()):
         return "csr (no vectorized batch ran)"
     served = []
+    if stats.get("pairs_c_mt"):
+        served.append("c-mt")
     if stats.get("pairs_c") or stats.get("sweeps_c"):
         served.append("c")
     if stats.get("pairs_dense"):
@@ -250,16 +282,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     With ``--engine all``, engines this host cannot run (``lex-c``
     without a compiler or prebuilt extension) are reported and skipped
     instead of failing the whole comparison.
+
+    ``--sources K`` switches the timed workload to a σ=K FT-MBFS
+    build (sources ``0..K-1``), the unit :mod:`repro.core.parallel`
+    can shard; ``--jobs J`` then adds a parallel arm per engine that
+    re-times the same build with a J-worker pool and reports the
+    speedup and merge overhead next to the serial time.  On a 1-core
+    host the parallel arm is skipped with a note instead of reporting
+    noise.  Each arm also prints the effective jobs and C kernel
+    thread counts actually in force.
     """
     import json
     import time
 
+    from repro.core import parallel
     from repro.core.snapshot_cache import shared_cache
 
     try:
         from repro.core.bulk import kernel_dispatch_stats
     except ImportError:  # numpy-less install: no bulk kernel to inspect
         kernel_dispatch_stats = None
+    try:
+        from repro.core.ckernel import c_thread_count
+    except ImportError:  # numpy-less install
+        def c_thread_count() -> int:
+            return 1
 
     graph = parse_graph_spec(args.graph)
     builder = BUILDERS[args.builder]
@@ -272,6 +319,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    sigma = max(1, args.sources)
+    if sigma > 1 and args.builder not in MBFS_BUILDERS:
+        print(
+            f"error: builder {args.builder!r} has no multi-source form; "
+            "--sources requires one of "
+            f"{', '.join(sorted(MBFS_BUILDERS))}",
+            file=sys.stderr,
+        )
+        return 2
+    source_list = list(range(min(sigma, graph.n)))
+    jobs = parallel.effective_jobs(args.jobs)
+    c_threads = c_thread_count()
+    multicore = (os.cpu_count() or 1) > 1
+    parallel_wanted = jobs > 1 and sigma > 1
+
+    def timed_build(engine: str, jobs_val: int):
+        """One cold arm build: σ-source MBFS or the single-source builder."""
+        if sigma > 1:
+            return _mbfs_build(
+                args.builder, graph, source_list, args.f, engine, jobs_val
+            )
+        return builder(graph, args.source, args.f, engine)
+
     engines = sorted(ENGINES) if args.engine == "all" else [args.engine]
     rounds = max(1, args.rounds)
     results = []
@@ -301,7 +371,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if kernel_dispatch_stats is not None:
                 kernel_dispatch_stats(graph, reset=True)
             t0 = time.perf_counter()
-            structure = builder(graph, args.source, args.f, engine)
+            structure = timed_build(engine, 1)
             best = min(best, time.perf_counter() - t0)
             size = structure.size
             # One cold build's worth of snapshot-cache traffic and
@@ -311,6 +381,38 @@ def cmd_bench(args: argparse.Namespace) -> int:
             cache_stats = shared_cache().stats()
             if kernel_dispatch_stats is not None:
                 tier_stats = kernel_dispatch_stats(graph)
+        par: Dict[str, object] = {
+            "jobs": jobs,
+            "c_threads": c_threads,
+        }
+        if not parallel_wanted:
+            par["skipped"] = (
+                "jobs=1 (serial)" if jobs <= 1 else "sources=1 (nothing to shard)"
+            )
+        elif not multicore:
+            # A pool on a 1-core box measures scheduler thrash, not the
+            # sharding; skip cleanly instead of reporting noise.
+            par["skipped"] = "1-core host"
+        else:
+            par_best = float("inf")
+            par_stats: Dict[str, object] = {}
+            for _ in range(rounds):
+                shared_cache().clear()
+                shared_cache().reset_stats()
+                if kernel_dispatch_stats is not None:
+                    kernel_dispatch_stats(graph, reset=True)
+                t0 = time.perf_counter()
+                par_structure = timed_build(engine, jobs)
+                elapsed = time.perf_counter() - t0
+                if elapsed < par_best:
+                    par_best = elapsed
+                    par_stats = parallel.last_run_stats()
+            par["seconds"] = par_best
+            par["speedup_vs_serial"] = best / par_best if par_best else None
+            par["effective_jobs"] = par_stats.get("effective_jobs", 1)
+            par["merge_seconds"] = par_stats.get("merge_seconds", 0.0)
+            par["degraded"] = par_stats.get("degraded")
+            par["identical"] = par_structure.edges == structure.edges
         results.append(
             {
                 "engine": engine,
@@ -319,6 +421,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "snapshot_cache": cache_stats,
                 "kernel_dispatch": tier_stats,
                 "kernel_tier": _kernel_tier_label(engine, tier_stats),
+                "parallel": par,
             }
         )
     baseline = next(
@@ -329,9 +432,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ),
         None,
     )
+    workload = f"σ={sigma} sources, " if sigma > 1 else ""
     print(
         f"bench {args.builder} on n={graph.n} m={graph.m} "
-        f"(best of {rounds} rounds)"
+        f"({workload}best of {rounds} rounds)"
     )
     for r in results:
         if "unavailable" in r:
@@ -350,6 +454,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if ds and any(ds.values()):
             print(
                 f"             kernel: {tier} — pairs "
+                f"{ds.get('pairs_c_mt', 0)} c-mt / "
                 f"{ds['pairs_c']} c / {ds['pairs_dense']} dense / "
                 f"{ds['pairs_compact']} compact / "
                 f"{ds['pairs_cutover']} cutover; sweep targets "
@@ -357,6 +462,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
         else:
             print(f"             kernel: {tier}")
+        pr = r.get("parallel") or {}
+        if "skipped" in pr:
+            print(
+                f"             parallel: skipped ({pr['skipped']}); "
+                f"c-threads {pr['c_threads']}"
+            )
+        elif "seconds" in pr:
+            note = ""
+            if pr.get("degraded"):
+                note = f", DEGRADED: {pr['degraded']}"
+            elif not pr.get("identical", True):
+                note = ", MISMATCH vs jobs=1"
+            print(
+                f"             parallel: jobs {pr['jobs']} "
+                f"(effective {pr['effective_jobs']}), "
+                f"c-threads {pr['c_threads']} — "
+                f"{1000.0 * pr['seconds']:.1f} ms, "
+                f"{pr['speedup_vs_serial']:.2f}x vs jobs=1, "
+                f"merge {1000.0 * pr['merge_seconds']:.1f} ms{note}"
+            )
         cs = r["snapshot_cache"]
         if cs is not None:
             total = cs["hits"] + cs["misses"]
@@ -382,6 +507,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "builder": args.builder,
             "graph": {"spec": args.graph, "n": graph.n, "m": graph.m},
             "rounds": rounds,
+            "sources": sigma,
+            "jobs": jobs,
+            "c_threads": c_threads,
             "results": results,
         }
         with open(args.json, "w") as fh:
@@ -482,6 +610,21 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--rounds", type=int, default=3,
                          help="take the best of this many runs")
+    p_bench.add_argument(
+        "--sources", type=int, default=1,
+        help=(
+            "time a σ-source FT-MBFS build over sources 0..K-1 "
+            "instead of a single-source build (the shardable unit)"
+        ),
+    )
+    p_bench.add_argument(
+        "--jobs", default=None,
+        help=(
+            "process-pool workers for a parallel arm per engine "
+            "('auto' = one per CPU; default: REPRO_JOBS, else 1); "
+            "needs --sources > 1 and a multi-core host"
+        ),
+    )
     p_bench.add_argument("--json", default=None,
                          help="also write machine-readable results here")
     p_bench.set_defaults(func=cmd_bench)

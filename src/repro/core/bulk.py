@@ -74,7 +74,12 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.csr import CSRGraph, UNREACHED, csr_of
-from repro.core.ckernel import CKernel, c_kernel_mode, load_c_library
+from repro.core.ckernel import (
+    CKernel,
+    c_kernel_mode,
+    load_c_library,
+    plan_c_threads,
+)
 from repro.core.graph import Graph
 
 #: Below this vertex count the python kernel is faster and the bulk
@@ -204,6 +209,7 @@ class BulkCSRKernel:
         #: counted, not calls.  Read/reset via ``kernel_dispatch_stats``.
         self.dispatch_stats = {
             "pairs_c": 0,
+            "pairs_c_mt": 0,
             "pairs_dense": 0,
             "pairs_compact": 0,
             "pairs_cutover": 0,
@@ -610,9 +616,15 @@ class BulkCSRKernel:
         if ck is not None:
             # C tier: the whole batch is one library call — no chunking
             # and no scalar tail cutover, the per-query fixed cost the
-            # lock-step schedule exists to amortize is gone.
-            self.dispatch_stats["pairs_c"] += len(queries)
-            return ck.multi_pair_dists(queries)
+            # lock-step schedule exists to amortize is gone.  Batches
+            # clearing the REPRO_C_THREADS / REPRO_C_MT_MIN bar run on
+            # the threaded entry point (bit-identical results).
+            threads = plan_c_threads(len(queries))
+            if threads > 1:
+                self.dispatch_stats["pairs_c_mt"] += len(queries)
+            else:
+                self.dispatch_stats["pairs_c"] += len(queries)
+            return ck.multi_pair_dists(queries, threads=threads)
         compact = self._use_compact_labels(queries)
         try:
             chunk = int(os.environ.get("REPRO_BATCH_CHUNK", "0"))

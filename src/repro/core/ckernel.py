@@ -39,6 +39,17 @@ Environment knobs (see ``docs/tuning.md``):
 ``REPRO_C_KERNEL_CACHE``
     Directory for on-demand build artifacts (default:
     ``~/.cache/repro-parter15``, falling back to the temp dir).
+``REPRO_C_THREADS``
+    Worker threads for one :meth:`CKernel.multi_pair_dists` batch
+    (default ``1``; ``auto``/``0`` = one per CPU).  The C side
+    partitions the query range across a pthread pool with disjoint
+    per-thread scratch — results stay bit-identical to the serial
+    entry point — and ctypes releases the GIL for the call, so the
+    threads run truly in parallel.
+``REPRO_C_MT_MIN``
+    Minimum batch size (queries) before a multi-threaded dispatch is
+    worth its thread-spawn cost (default ``2048``); smaller batches
+    stay on the serial C entry point.
 """
 
 from __future__ import annotations
@@ -58,7 +69,15 @@ import numpy as np
 
 #: ABI tag the wrapper expects; must match the ABI macro in
 #: ``_ckernel.c`` (a mismatched cached build is rejected and rebuilt).
-ABI = 1
+ABI = 2
+
+#: Default ``REPRO_C_MT_MIN``: below this many queries per batch the
+#: serial C entry point wins (thread spawn ~tens of µs vs ~1 µs/pair).
+DEFAULT_MT_MIN = 2048
+
+#: Hard cap on threads per batch; must match MT_MAX_THREADS in the C
+#: source (the C side clamps too — this keeps scratch allocation sane).
+MAX_C_THREADS = 64
 
 _P64 = ctypes.POINTER(ctypes.c_int64)
 _P32 = ctypes.POINTER(ctypes.c_int32)
@@ -77,6 +96,45 @@ def c_kernel_mode() -> str:
     """
     mode = os.environ.get("REPRO_C_KERNEL", "auto").strip().lower()
     return mode if mode in ("auto", "on", "off") else "auto"
+
+
+def c_thread_count() -> int:
+    """The ``REPRO_C_THREADS`` worker-thread count (>= 1).
+
+    ``auto`` or ``0`` mean one thread per CPU; unparsable values and
+    values below 1 resolve to 1 (serial).  Capped at
+    :data:`MAX_C_THREADS` to match the C side's fixed job table.
+    """
+    raw = os.environ.get("REPRO_C_THREADS", "1").strip().lower()
+    if raw in ("auto", "0"):
+        t = os.cpu_count() or 1
+    else:
+        try:
+            t = int(raw)
+        except ValueError:
+            t = 1
+    return max(1, min(t, MAX_C_THREADS))
+
+
+def mt_min_batch() -> int:
+    """Minimum queries per batch for a threaded dispatch (``REPRO_C_MT_MIN``)."""
+    try:
+        return int(os.environ.get("REPRO_C_MT_MIN", str(DEFAULT_MT_MIN)))
+    except ValueError:
+        return DEFAULT_MT_MIN
+
+
+def plan_c_threads(nq: int) -> int:
+    """Threads a ``multi_pair_dists`` batch of ``nq`` queries should use.
+
+    1 unless ``REPRO_C_THREADS`` asks for more *and* the batch clears
+    the ``REPRO_C_MT_MIN`` break-even size; never more threads than
+    queries.  Pure planning — reading it does not touch the library.
+    """
+    t = c_thread_count()
+    if t <= 1 or nq < max(2, mt_min_batch()):
+        return 1
+    return min(t, nq)
 
 
 def _source_path() -> pathlib.Path:
@@ -125,6 +183,17 @@ def _configure(lib: ctypes.CDLL) -> Tuple[Optional[ctypes.CDLL], str]:
         _P32, _P32, _P32, _P32,  # four frontier buffers
         _P32,  # out
     ]
+    lib.repro_multi_pair_dists_mt.restype = None
+    lib.repro_multi_pair_dists_mt.argtypes = [
+        _P64, _P32, _P32,  # indptr, nbr, arc_eid
+        c64, _P32, _P32,  # nq, q_src, q_tgt
+        _P64, _P32, _P64, _P32,  # eb_off, eb_ids, vb_off, vb_ids
+        c64, c64, c64, c64,  # gen_base, nthreads, n, m
+        _P64, _P32, _P64, _P32,  # visit_s, dist_s, visit_t, dist_t (T×n)
+        _P64, _P64,  # eban (T×m), vban (T×n)
+        _P32,  # frontier block (T×4×n)
+        _P32,  # out
+    ]
     lib.repro_multi_target_dists.restype = None
     lib.repro_multi_target_dists.argtypes = [
         _P64, _P32, _P32,  # indptr, nbr, arc_eid
@@ -160,8 +229,24 @@ def _find_prebuilt() -> Optional[str]:
     return spec.origin
 
 
+#: Compile failures memoized per content tag: a process pool routinely
+#: retries the load (workers, benchmark arms flipping REPRO_C_KERNEL),
+#: and re-running a compiler that already failed on identical input
+#: would pay the failure once per retry instead of once per process.
+_build_failures: dict = {}
+
+
 def _build_on_demand() -> Tuple[Optional[ctypes.CDLL], str]:
-    """Compile the bundled C source into the cache dir and load it."""
+    """Compile the bundled C source into the cache dir and load it.
+
+    Concurrency-safe by construction: each builder writes a private
+    pid-tagged temp file and installs it with an atomic
+    :func:`os.replace`, so two processes (routine under the
+    :mod:`repro.core.parallel` pool) racing on the same
+    content-addressed path both end up loading a complete build —
+    never a partially written one.  Compile failures are memoized per
+    content tag; install failures fall through to the next cache base.
+    """
     src = _source_path()
     if not src.is_file():
         return None, "bundled C source _ckernel.c is missing"
@@ -175,6 +260,7 @@ def _build_on_demand() -> Tuple[Optional[ctypes.CDLL], str]:
     tag = hashlib.sha256(
         b"\x00".join((source, cc.encode(), sys.platform.encode()))
     ).hexdigest()[:16]
+    last_detail = "no writable cache directory for the on-demand build"
     for base in (_cache_dir(), pathlib.Path(tempfile.gettempdir()) / "repro-parter15"):
         try:
             base.mkdir(parents=True, exist_ok=True)
@@ -184,30 +270,41 @@ def _build_on_demand() -> Tuple[Optional[ctypes.CDLL], str]:
         if cached.is_file():
             lib, detail = _open(cached)
             if lib is not None:
-                detail = f"on-demand build {cached} (cached)"
-            return lib, detail
+                return lib, f"on-demand build {cached} (cached)"
+            last_detail = detail
+            continue
+        if tag in _build_failures:
+            return None, _build_failures[tag]
         tmp = base / f"_ckernel-{tag}.{os.getpid()}.tmp.so"
-        cmd = [*cc.split(), "-O2", "-shared", "-fPIC", "-o", str(tmp), str(src)]
+        cmd = [
+            *cc.split(), "-O2", "-shared", "-fPIC", "-pthread",
+            "-o", str(tmp), str(src),
+        ]
         try:
             proc = subprocess.run(
                 cmd, capture_output=True, text=True, timeout=180
             )
         except (OSError, subprocess.TimeoutExpired) as err:
-            return None, f"C kernel build failed ({cc!r}): {err}"
+            detail = f"C kernel build failed ({cc!r}): {err}"
+            _build_failures[tag] = detail
+            return None, detail
         if proc.returncode != 0:
             detail = (proc.stderr or proc.stdout or "").strip()
-            return None, (
-                f"C kernel build failed ({' '.join(cmd)}): {detail[:400]}"
-            )
+            detail = f"C kernel build failed ({' '.join(cmd)}): {detail[:400]}"
+            _build_failures[tag] = detail
+            tmp.unlink(missing_ok=True)
+            return None, detail
         try:
             os.replace(tmp, cached)  # atomic vs concurrent builders
         except OSError as err:
-            return None, f"could not install built kernel: {err}"
+            tmp.unlink(missing_ok=True)
+            last_detail = f"could not install built kernel: {err}"
+            continue
         lib, detail = _open(cached)
         if lib is not None:
-            detail = f"on-demand build {cached}"
+            return lib, f"on-demand build {cached}"
         return lib, detail
-    return None, "no writable cache directory for the on-demand build"
+    return None, last_detail
 
 
 def _load_uncached() -> Tuple[Optional[ctypes.CDLL], str]:
@@ -286,6 +383,14 @@ class CKernel:
         "_fr",
         "_queue",
         "_gen",
+        "_mt_threads",
+        "_mt_visit_s",
+        "_mt_dist_s",
+        "_mt_visit_t",
+        "_mt_dist_t",
+        "_mt_eban",
+        "_mt_vban",
+        "_mt_fr",
     )
 
     def __init__(
@@ -315,9 +420,38 @@ class CKernel:
         self._fr = np.empty((4, max(n, 1)), dtype=np.int32)
         self._queue = np.empty(max(n, 1), dtype=np.int32)
         self._gen = 0
+        # Threaded multi-pair scratch: T disjoint slabs, allocated
+        # lazily at the first threaded dispatch and regrown when the
+        # thread count rises.  Fresh slabs start at stamp -1, below
+        # every generation (gens start at 1 and only grow), so growth
+        # never resurrects stale entries.
+        self._mt_threads = 0
+        self._mt_visit_s = None
+        self._mt_dist_s = None
+        self._mt_visit_t = None
+        self._mt_dist_t = None
+        self._mt_eban = None
+        self._mt_vban = None
+        self._mt_fr = None
+
+    def _mt_scratch(self, threads: int) -> None:
+        """Ensure the per-thread scratch slabs cover ``threads`` slices."""
+        if threads <= self._mt_threads:
+            return
+        n = max(self.n, 1)
+        self._mt_visit_s = np.full((threads, n), -1, dtype=np.int64)
+        self._mt_dist_s = np.zeros((threads, n), dtype=np.int32)
+        self._mt_visit_t = np.full((threads, n), -1, dtype=np.int64)
+        self._mt_dist_t = np.zeros((threads, n), dtype=np.int32)
+        self._mt_eban = np.full((threads, self.m), -1, dtype=np.int64)
+        self._mt_vban = np.full((threads, n), -1, dtype=np.int64)
+        self._mt_fr = np.empty((threads, 4 * n), dtype=np.int32)
+        self._mt_threads = threads
 
     def multi_pair_dists(
-        self, queries: Sequence[Tuple[int, int, Sequence[int], Sequence[int]]]
+        self,
+        queries: Sequence[Tuple[int, int, Sequence[int], Sequence[int]]],
+        threads: int = 1,
     ) -> List[int]:
         """Exact hops for many independent restricted point queries.
 
@@ -327,6 +461,13 @@ class CKernel:
         query, ``-1`` where the restriction cuts the pair.  The whole
         batch is one C call; no chunking or scalar tail cutover is
         needed because the per-query fixed cost is a function call.
+
+        With ``threads > 1`` the batch runs on the threaded C entry
+        point (``repro_multi_pair_dists_mt``): contiguous query slices
+        on a pthread pool, each against its own scratch slab, with the
+        GIL released for the duration of the call.  Results are
+        bit-identical for every thread count (callers usually let
+        :func:`plan_c_threads` pick).
         """
         nq = len(queries)
         if nq == 0:
@@ -347,6 +488,34 @@ class CKernel:
         out = np.empty(nq, dtype=np.int32)
         gen_base = self._gen
         self._gen = gen_base + nq
+        threads = max(1, min(int(threads), nq, MAX_C_THREADS))
+        if threads > 1:
+            self._mt_scratch(threads)
+            self._lib.repro_multi_pair_dists_mt(
+                _p64(self._indptr),
+                _p32(self._nbr),
+                _p32(self._arc_eid),
+                nq,
+                _p32(np.asarray(q_src, dtype=np.int32)),
+                _p32(np.asarray(q_tgt, dtype=np.int32)),
+                _p64(np.asarray(eb_off, dtype=np.int64)),
+                _p32(np.asarray(eb_ids, dtype=np.int32)),
+                _p64(np.asarray(vb_off, dtype=np.int64)),
+                _p32(np.asarray(vb_ids, dtype=np.int32)),
+                gen_base,
+                threads,
+                max(self.n, 1),
+                self.m,
+                _p64(self._mt_visit_s),
+                _p32(self._mt_dist_s),
+                _p64(self._mt_visit_t),
+                _p32(self._mt_dist_t),
+                _p64(self._mt_eban),
+                _p64(self._mt_vban),
+                _p32(self._mt_fr),
+                _p32(out),
+            )
+            return out.tolist()
         fr = self._fr
         self._lib.repro_multi_pair_dists(
             _p64(self._indptr),

@@ -690,8 +690,7 @@ class PointQueryBatch:
             slots.append(slot)
         st["unique"] += len(unique)
         st["cached"] += cache_hits
-        cache.hits += cache_hits
-        cache.misses += len(unique) - cache_hits
+        cache.add_stats(hits=cache_hits, misses=len(unique) - cache_hits)
         # out-of-range targets were answered inline; drop them from the
         # execution plan but keep them in `misses` for the cache fill.
         pending = [slot for slot in misses if results[slot] is None]
@@ -1009,7 +1008,7 @@ class SpeculativeBatch:
     ) -> SpecHandle:
         """Register one predicted probe under a dependency ``token``."""
         self._stats["planned"] += 1
-        self._counts.spec_planned += 1
+        self._counts.add_stats(spec_planned=1)
         return SpecHandle(
             self._inner.add(source, target, banned_edges, banned_vertices),
             token,
@@ -1024,7 +1023,7 @@ class SpeculativeBatch:
         token check at claim time still guards staleness.
         """
         self._stats["planned"] += 1
-        self._counts.spec_planned += 1
+        self._counts.add_stats(spec_planned=1)
         return SpecHandle(QueryHandle.resolved(hops), token)
 
     def execute(self) -> None:
@@ -1043,14 +1042,14 @@ class SpeculativeBatch:
         """
         if spec is None:
             self._stats["misses"] += 1
-            self._counts.spec_misses += 1
+            self._counts.add_stats(spec_misses=1)
             return None
         if spec.token != token:
             self._stats["discards"] += 1
-            self._counts.spec_discards += 1
+            self._counts.add_stats(spec_discards=1)
             return None
         self._stats["hits"] += 1
-        self._counts.spec_hits += 1
+        self._counts.add_stats(spec_hits=1)
         return spec.handle.hops
 
     def consume_stale(
@@ -1072,16 +1071,16 @@ class SpeculativeBatch:
         """
         if spec is None:
             self._stats["misses"] += 1
-            self._counts.spec_misses += 1
+            self._counts.add_stats(spec_misses=1)
             return None
         stale = spec.handle.hops
         if stale is not None and stale == expected:
             self._stats["hits"] += 1
             self._stats["stale_hits"] += 1
-            self._counts.spec_hits += 1
+            self._counts.add_stats(spec_hits=1)
             return stale
         self._stats["discards"] += 1
-        self._counts.spec_discards += 1
+        self._counts.add_stats(spec_discards=1)
         return None
 
     def discard_unclaimed(self, count: int) -> None:
@@ -1095,4 +1094,4 @@ class SpeculativeBatch:
         """
         if count > 0:
             self._stats["discards"] += count
-            self._counts.spec_discards += count
+            self._counts.add_stats(spec_discards=count)

@@ -48,6 +48,7 @@ measured against a warm cache and the comparison is meaningless.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Dict, Hashable, Optional
 
@@ -65,9 +66,20 @@ class SnapshotCache:
     with an independent size limit; overflow clears that namespace
     wholesale (the stamped-kernel workloads have no useful recency
     structure, so LRU bookkeeping would cost more than it saves).
+
+    Counter updates and eviction bookkeeping run under a cheap
+    uncontended lock: the C kernel tier releases the GIL for whole
+    batches and threaded consumers may touch the shared cache
+    concurrently, and unguarded read-modify-write counter updates
+    would silently corrupt the accounting ``repro bench`` reports
+    (hammered in ``tests/test_snapshot_cache.py``).  Bulk consumers
+    using :meth:`namespace` do their own per-key bookkeeping outside
+    the lock by design — they batch their counter settlement into one
+    guarded :meth:`add_stats` call.
     """
 
     __slots__ = (
+        "_lock",
         "hits",
         "misses",
         "evictions",
@@ -81,6 +93,7 @@ class SnapshotCache:
     )
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -101,16 +114,17 @@ class SnapshotCache:
 
     def get(self, snapshot: Any, namespace: str, key: Hashable) -> Optional[Any]:
         """The cached value, or ``None`` (counted as hit/miss)."""
-        table = self._tables.get(snapshot)
-        if table is not None:
-            ns = table.get(namespace)
-            if ns is not None:
-                value = ns.get(key)
-                if value is not None:
-                    self.hits += 1
-                    return value
-        self.misses += 1
-        return None
+        with self._lock:
+            table = self._tables.get(snapshot)
+            if table is not None:
+                ns = table.get(namespace)
+                if ns is not None:
+                    value = ns.get(key)
+                    if value is not None:
+                        self.hits += 1
+                        return value
+            self.misses += 1
+            return None
 
     def put(
         self,
@@ -134,39 +148,43 @@ class SnapshotCache:
         first (counted in ``evictions``, same wholesale policy as the
         entry-count limit).
         """
-        capped = weight > 0 and weight_limit > 0
-        if capped and weight > weight_limit:
-            self.oversize += 1
-            return
-        table = self._tables.get(snapshot)
-        if table is None:
-            table = {}
-            self._tables[snapshot] = table
-        ns = table.get(namespace)
-        ns_weight = 0
-        if capped:
-            weights = self._weights.get(snapshot)
-            if weights is None:
-                weights = {}
-                self._weights[snapshot] = weights
-            ns_weight = weights.get(namespace, 0)
-        if ns is None:
-            ns = {}
-            table[namespace] = ns
-        elif capped and key in ns:
-            # Overwrite (e.g. a partial search promoted to full): the
-            # replacement has the same shape, so the namespace weight
-            # is unchanged — adding again would inflate the tracked
-            # weight with phantom entries and force premature evictions.
-            ns[key] = value
-            return
-        elif len(ns) >= limit or (capped and ns_weight + weight > weight_limit):
-            self.evictions += len(ns)
-            ns.clear()
+        with self._lock:
+            capped = weight > 0 and weight_limit > 0
+            if capped and weight > weight_limit:
+                self.oversize += 1
+                return
+            table = self._tables.get(snapshot)
+            if table is None:
+                table = {}
+                self._tables[snapshot] = table
+            ns = table.get(namespace)
             ns_weight = 0
-        ns[key] = value
-        if capped:
-            weights[namespace] = ns_weight + weight
+            if capped:
+                weights = self._weights.get(snapshot)
+                if weights is None:
+                    weights = {}
+                    self._weights[snapshot] = weights
+                ns_weight = weights.get(namespace, 0)
+            if ns is None:
+                ns = {}
+                table[namespace] = ns
+            elif capped and key in ns:
+                # Overwrite (e.g. a partial search promoted to full):
+                # the replacement has the same shape, so the namespace
+                # weight is unchanged — adding again would inflate the
+                # tracked weight with phantom entries and force
+                # premature evictions.
+                ns[key] = value
+                return
+            elif len(ns) >= limit or (
+                capped and ns_weight + weight > weight_limit
+            ):
+                self.evictions += len(ns)
+                ns.clear()
+                ns_weight = 0
+            ns[key] = value
+            if capped:
+                weights[namespace] = ns_weight + weight
 
     def namespace(self, snapshot: Any, namespace: str) -> dict:
         """The raw namespace dict, for bulk readers/writers.
@@ -178,25 +196,46 @@ class SnapshotCache:
         :attr:`hits`/:attr:`misses` themselves and enforce the
         namespace limit with :meth:`bulk_evict` before inserting.
         """
-        table = self._tables.get(snapshot)
-        if table is None:
-            table = {}
-            self._tables[snapshot] = table
-        ns = table.get(namespace)
-        if ns is None:
-            ns = {}
-            table[namespace] = ns
-        return ns
+        with self._lock:
+            table = self._tables.get(snapshot)
+            if table is None:
+                table = {}
+                self._tables[snapshot] = table
+            ns = table.get(namespace)
+            if ns is None:
+                ns = {}
+                table[namespace] = ns
+            return ns
 
     def bulk_evict(self, ns: dict, limit: int = DEFAULT_LIMIT) -> None:
         """Apply :meth:`put`'s wholesale-clear policy once for a bulk
         insert into a dict obtained from :meth:`namespace`."""
-        if len(ns) >= limit:
-            self.evictions += len(ns)
-            ns.clear()
+        with self._lock:
+            if len(ns) >= limit:
+                self.evictions += len(ns)
+                ns.clear()
+
+    def add_stats(self, **deltas: int) -> None:
+        """Atomically add counter deltas by name (e.g. ``hits=42``).
+
+        The settlement path for bulk consumers: a
+        :class:`~repro.core.query_batch.PointQueryBatch` resolves
+        thousands of keys against a raw :meth:`namespace` dict and
+        then settles its hit/miss/speculation accounting in one
+        guarded call instead of thousands of unguarded ``+=``
+        attribute updates.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def stats(self) -> Dict[str, int]:
         """Counters plus live table sizes (for reports and tests)."""
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, int]:
+        """:meth:`stats` body; caller holds the lock."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -217,19 +256,21 @@ class SnapshotCache:
 
     def clear(self) -> None:
         """Drop every table (counters are kept; see :meth:`reset_stats`)."""
-        self._tables.clear()
-        self._weights.clear()
+        with self._lock:
+            self._tables.clear()
+            self._weights.clear()
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/eviction/oversize/speculation counters."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.oversize = 0
-        self.spec_planned = 0
-        self.spec_hits = 0
-        self.spec_misses = 0
-        self.spec_discards = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.oversize = 0
+            self.spec_planned = 0
+            self.spec_hits = 0
+            self.spec_misses = 0
+            self.spec_discards = 0
 
 
 #: The process-wide instance every oracle/engine uses by default.

@@ -20,8 +20,10 @@ FT-MBFS structures.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.core import parallel
 from repro.core.canonical import UNREACHED
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.paths import Path
@@ -136,11 +138,58 @@ def build_dense_union(
     )
 
 
+def _mbfs_build_one(
+    graph: Graph,
+    source: int,
+    builder: Optional[Callable[..., FTStructure]],
+    max_faults: int,
+    kwargs: dict,
+) -> FTStructure:
+    """One per-source structure for :func:`build_ft_mbfs` (any path)."""
+    if builder is None:
+        return build_generic_ftbfs(graph, source, max_faults, **kwargs)
+    return builder(graph, source, **kwargs)
+
+
+def _mbfs_shard(payload, chunk):
+    """Pool task: per-source structures for one chunk of sources.
+
+    ``payload`` is ``(n, edge_list, builder, max_faults, kwargs)``; the
+    graph is rebuilt locally (never pickled — and the rebuild gives the
+    worker a private snapshot cache and kernel scratch).  Returns the
+    compact per-source facts the deterministic merge needs —
+    ``(source, sorted edges, size, max_faults)`` — plus this chunk's
+    worker-side cache/dispatch counters.
+    """
+    n, edge_list, builder, max_faults, kwargs = payload
+    graph = Graph(n, edge_list)
+    parallel.worker_counters_begin()
+    results = []
+    for s in chunk:
+        sub = _mbfs_build_one(graph, s, builder, max_faults, kwargs)
+        results.append((s, sorted(sub.edges), sub.size, sub.max_faults))
+    return results, parallel.worker_counters_end(graph)
+
+
+def _shardable_kwargs(kwargs: dict) -> bool:
+    """Whether builder kwargs can cross the pool boundary faithfully.
+
+    Engine *instances* are bound to the parent's graph object; workers
+    rebuild the graph, so only by-name (or default) engine selection —
+    and other plain scalars — shard.  Anything else runs serially.
+    """
+    return all(
+        value is None or isinstance(value, (str, int, float, bool))
+        for value in kwargs.values()
+    )
+
+
 def build_ft_mbfs(
     graph: Graph,
     sources: Sequence[int],
     max_faults: int,
     builder: Optional[Callable[..., FTStructure]] = None,
+    jobs=None,
     **kwargs,
 ) -> FTStructure:
     """Multi-source structure: union of per-source structures.
@@ -148,17 +197,56 @@ def build_ft_mbfs(
     ``builder`` defaults to :func:`build_generic_ftbfs`; any
     single-source builder with signature ``(graph, source, ...)`` works
     (e.g. ``build_cons2ftbfs`` for ``f = 2``).
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable) shards
+    the per-source builds across a process pool
+    (:mod:`repro.core.parallel`): sources are independent, so workers
+    build disjoint chunks against private snapshot caches and the
+    merge unions edges and reassembles per-source stats *in source
+    order* — the result is bit-identical to ``jobs=1`` (property-
+    tested across engines in ``tests/test_parallel.py``).  Sharding
+    requires by-name engine selection; builder kwargs holding live
+    objects (an engine instance) fall back to the serial path.
     """
     if builder is None:
-        build = lambda g, s: build_generic_ftbfs(g, s, max_faults, **kwargs)
         name = f"ft-mbfs-generic-f{max_faults}"
     else:
-        build = lambda g, s: builder(g, s, **kwargs)
         name = f"ft-mbfs-{builder.__name__}"
+    sources = list(sources)
+    njobs = parallel.effective_jobs(jobs, items=len(sources))
     edges: Set[Edge] = set()
     per_source: Dict[int, int] = {}
+    if (
+        njobs > 1
+        and len(sources) > 1
+        and (builder is None or getattr(builder, "__name__", "<lambda>") != "<lambda>")
+        and _shardable_kwargs(kwargs)
+    ):
+        payload = (graph.n, sorted(graph.edges()), builder, max_faults, kwargs)
+        shards = parallel.run_sharded(
+            _mbfs_shard, sources, payload=payload, jobs=njobs, label=name
+        )
+        t0 = time.perf_counter()
+        for s, sub_edges, size, sub_faults in shards:
+            if sub_faults < max_faults:
+                raise ValueError(
+                    f"builder produced an f={sub_faults} structure, "
+                    f"need {max_faults}"
+                )
+            edges.update(sub_edges)
+            per_source[s] = size
+        structure = make_structure(
+            graph,
+            tuple(sources),
+            max_faults,
+            edges,
+            builder=name,
+            stats={"per_source_size": per_source},
+        )
+        parallel.add_merge_seconds(time.perf_counter() - t0)
+        return structure
     for s in sources:
-        sub = build(graph, s)
+        sub = _mbfs_build_one(graph, s, builder, max_faults, kwargs)
         if sub.max_faults < max_faults:
             raise ValueError(
                 f"builder produced an f={sub.max_faults} structure, need {max_faults}"

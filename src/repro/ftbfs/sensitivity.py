@@ -22,12 +22,34 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.canonical import INF, UNREACHED, DistanceOracle
+from repro.core import parallel
+from repro.core.canonical import INF, UNREACHED, DistanceOracle, make_engine
 from repro.core.errors import GraphError
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.tree import BFSTree
 from repro.ftbfs.cons2ftbfs import build_cons2ftbfs
 from repro.ftbfs.structures import FTStructure
+
+
+def _sensitivity_shard(payload, chunk):
+    """Pool task: replacement-distance vectors for a chunk of tree edges.
+
+    ``payload`` is ``(n, edge_list, source, engine_name)``; the worker
+    rebuilds the graph, selects the same oracle family the serial path
+    would (the engine's declared ``oracle_class``) and tabulates one
+    full restricted BFS per fault edge.  Distance vectors are integer
+    lists, so reassembly by edge index is trivially bit-identical.
+    """
+    n, edge_list, source, engine_name = payload
+    graph = Graph(n, edge_list)
+    parallel.worker_counters_begin()
+    engine = make_engine(graph, engine_name) if engine_name else make_engine(graph)
+    oracle_cls = getattr(engine, "oracle_class", DistanceOracle)
+    oracle = oracle_cls(graph)
+    tables = [
+        list(oracle.distances_from(source, banned_edges=(e,))) for e in chunk
+    ]
+    return tables, parallel.worker_counters_end(graph)
 
 
 class SingleFaultDistanceOracle:
@@ -38,7 +60,7 @@ class SingleFaultDistanceOracle:
     paper cites.
     """
 
-    def __init__(self, graph: Graph, source: int, engine=None) -> None:
+    def __init__(self, graph: Graph, source: int, engine=None, jobs=None) -> None:
         self.graph = graph
         self.source = source
         self.tree = BFSTree(graph, source, engine)
@@ -46,8 +68,27 @@ class SingleFaultDistanceOracle:
         oracle = oracle_cls(graph)
         self._base = oracle.distances_from(source)
         self._tables: Dict[Edge, List[int]] = {}
-        for e in sorted(self.tree.edges()):
-            self._tables[e] = oracle.distances_from(source, banned_edges=(e,))
+        fault_edges = sorted(self.tree.edges())
+        njobs = parallel.effective_jobs(jobs, items=len(fault_edges))
+        if njobs > 1 and len(fault_edges) > 1 and (
+            engine is None or isinstance(engine, str)
+        ):
+            # The per-edge tabulation sweep is embarrassingly parallel:
+            # shard the fault edges across a process pool and zip the
+            # returned vectors back in edge order (bit-identical to the
+            # serial loop; see tests/test_parallel.py).
+            payload = (graph.n, sorted(graph.edges()), source, engine)
+            tables = parallel.run_sharded(
+                _sensitivity_shard,
+                fault_edges,
+                payload=payload,
+                jobs=njobs,
+                label="sensitivity-tables",
+            )
+            self._tables = dict(zip(fault_edges, tables))
+        else:
+            for e in fault_edges:
+                self._tables[e] = oracle.distances_from(source, banned_edges=(e,))
         # per-target sets of pi-edges for the O(1) relevance test
         self._pi_edges: List[Optional[set]] = [None] * graph.n
         for v in self.tree.vertices():

@@ -255,3 +255,67 @@ def test_cached_repair_context_does_not_immortalize_snapshot():
     del batch
     gc.collect()
     assert ref() is None, "retired snapshot kept alive by cached repair context"
+
+
+# ----------------------------------------------------------------------
+# thread safety: the C kernel releases the GIL, so cache bookkeeping
+# must stay exact under concurrent mutation (see the class docstring)
+# ----------------------------------------------------------------------
+def test_concurrent_hammer_exact_accounting():
+    """N threads × K put/get cycles: counters and entries stay exact.
+
+    Every op runs under the cache's internal lock, so despite arbitrary
+    interleaving the totals are fully deterministic: each (thread, i)
+    key misses exactly once and hits exactly once, and no eviction
+    fires (the limit is far above the population).
+    """
+    import threading
+
+    cache = SnapshotCache()
+    snap = csr_of(path_graph(4))
+    nthreads, kops = 8, 200
+    errors = []
+
+    def hammer(tid):
+        try:
+            for i in range(kops):
+                key = (tid, i)
+                assert cache.get(snap, "hammer", key) is None  # miss
+                cache.put(snap, "hammer", key, i, limit=10 * nthreads * kops)
+                assert cache.get(snap, "hammer", key) == i  # hit
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(nthreads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats()
+    assert stats["misses"] == nthreads * kops
+    assert stats["hits"] == nthreads * kops
+    assert stats["evictions"] == 0
+    assert stats["entries"] == nthreads * kops
+
+
+def test_concurrent_add_stats_is_atomic():
+    """Racing add_stats deltas never lose an increment."""
+    import threading
+
+    cache = SnapshotCache()
+    nthreads, kops = 8, 500
+
+    def bump():
+        for _ in range(kops):
+            cache.add_stats(hits=1, spec_planned=2)
+
+    threads = [threading.Thread(target=bump) for _ in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert cache.hits == nthreads * kops
+    assert cache.spec_planned == 2 * nthreads * kops
