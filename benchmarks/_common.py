@@ -24,7 +24,23 @@ from repro.analysis import format_table
 from repro.core.canonical import ENGINES
 from repro.core.snapshot_cache import shared_cache
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+def _results_dir() -> pathlib.Path:
+    """Where benchmark outputs land (``REPRO_RESULTS_DIR`` overrides).
+
+    The default is ``benchmarks/results/`` inside the checkout; on
+    read-only checkouts (CI caches, mounted images) set
+    ``REPRO_RESULTS_DIR`` to any writable directory and every
+    ``<exp>.txt`` / ``BENCH_<exp>.json`` goes there instead — the same
+    knob :func:`repro.core.io.resolve_out` honors for CLI outputs.
+    """
+    override = os.environ.get("REPRO_RESULTS_DIR", "").strip()
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path(__file__).parent / "results"
+
+
+RESULTS_DIR = _results_dir()
 
 
 def jobs_axis() -> List[int]:
@@ -88,7 +104,7 @@ def cold_cache() -> None:
 
 def emit(exp_id: str, title: str, body: str) -> None:
     """Print an experiment report and persist it under results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     report = f"== {exp_id}: {title} ==\n{body}\n"
     print("\n" + report)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(report)
@@ -99,7 +115,7 @@ def emit_json(exp_id: str, payload: dict) -> pathlib.Path:
 
     Writes ``results/BENCH_<exp>.json`` and returns the path.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{exp_id}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

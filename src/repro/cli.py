@@ -10,6 +10,16 @@ Examples::
     python -m repro lowerbound --n 150 --f 2 --check 25
     python -m repro bench  --graph er:n=120,p=0.05,seed=7 --builder cons2 \
                            --engine all --rounds 3
+    python -m repro build  --graph er:n=200,p=0.035,seed=3 --out h.bin
+    python -m repro serve  h.bin --port 7070
+
+``build --out h.bin`` writes the mmap-loadable binary artifact
+(``--format`` overrides the suffix rule) and ``serve`` answers point,
+batch and replacement-path queries from it over a length-prefixed JSON
+socket protocol — see ``docs/serving.md``.  ``verify``, ``query`` and
+``info`` accept both serializations.  Set ``REPRO_RESULTS_DIR`` to
+redirect every relative output path (structures, artifacts, ``bench
+--json``) into a writable directory on read-only checkouts.
 
 Engines (``--engine``): ``lex-csr`` (default; flat-array CSR kernel),
 ``lex-bulk`` (vectorized numpy bulk kernel — whole-frontier expansion,
@@ -56,10 +66,11 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.artifact import is_artifact, load_artifact, save_artifact
 from repro.core.canonical import DEFAULT_ENGINE, ENGINES, make_engine
 from repro.core.errors import GraphError, ReproError, VerificationError
 from repro.core.graph import Graph
-from repro.core.io import load_graph, load_structure, save_structure
+from repro.core.io import load_graph, load_structure, resolve_out, save_structure
 from repro.ftbfs import (
     FTQueryOracle,
     build_approx_ftmbfs,
@@ -159,24 +170,53 @@ def parse_faults(text: Optional[str]) -> List[tuple]:
     return out
 
 
+#: ``build --format auto`` picks the binary artifact for these suffixes.
+ARTIFACT_SUFFIXES = (".bin", ".art", ".artifact")
+
+
+def _out_format(fmt: str, out: str) -> str:
+    """Resolve ``--format auto`` from the output suffix."""
+    if fmt != "auto":
+        return fmt
+    return "artifact" if out.lower().endswith(ARTIFACT_SUFFIXES) else "json"
+
+
+def _load_any(path: str):
+    """Load either serialization: ``(structure, artifact-or-None)``.
+
+    Every structure-consuming subcommand accepts both formats, so a
+    precomputed artifact can be verified, queried and inspected with
+    the same commands as a JSON structure.
+    """
+    if is_artifact(path):
+        artifact = load_artifact(path)
+        return artifact.structure(), artifact
+    return load_structure(path), None
+
+
 def cmd_build(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(args.graph)
     builder = BUILDERS[args.builder]
     structure = builder(graph, args.source, args.f, args.engine)
-    save_structure(structure, args.out)
+    fmt = _out_format(args.format, args.out)
+    if fmt == "artifact":
+        out = save_artifact(structure, args.out)
+    else:
+        out = resolve_out(args.out)
+        save_structure(structure, out)
     engine_label = (
         "n/a" if args.builder in ENGINE_AGNOSTIC_BUILDERS else args.engine
     )
     print(
         f"built {structure.builder}: n={graph.n} m={graph.m} "
         f"|H|={structure.size} f={structure.max_faults} "
-        f"engine={engine_label} -> {args.out}"
+        f"engine={engine_label} -> {out} ({fmt})"
     )
     return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    structure = load_structure(args.structure)
+    structure, _ = _load_any(args.structure)
     try:
         if args.exhaustive:
             verify_structure(structure)
@@ -191,8 +231,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    structure = load_structure(args.structure)
-    oracle = FTQueryOracle(structure)
+    structure, artifact = _load_any(args.structure)
+    if artifact is not None:
+        oracle = artifact.oracle()
+    else:
+        oracle = FTQueryOracle(structure)
     faults = parse_faults(args.faults)
     source = args.source if args.source is not None else structure.sources[0]
     d = oracle.distance(source, args.target, faults)
@@ -206,8 +249,16 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    structure = load_structure(args.structure)
+    structure, artifact = _load_any(args.structure)
     g = structure.graph
+    if artifact is not None:
+        summary = artifact.summary()
+        print(f"artifact:   {artifact.path} ({summary['nbytes']} bytes)")
+        print(f"content:    {summary['content_hash']}")
+        print(
+            f"versions:   format={summary['format_version']} "
+            f"abi={summary['abi_version']}"
+        )
     print(f"builder:    {structure.builder}")
     print(f"graph:      n={g.n}, m={g.m}")
     print(f"sources:    {list(structure.sources)}")
@@ -512,15 +563,60 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "c_threads": c_threads,
             "results": results,
         }
-        with open(args.json, "w") as fh:
+        json_out = resolve_out(args.json)
+        with open(json_out, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"wrote {args.json}")
+        print(f"wrote {json_out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve point/batch/path queries from a saved structure or artifact.
+
+    Artifacts are mmap-loaded and preseeded (no traversal for unfaulted
+    queries); JSON structures are rebuilt into an oracle first.  The
+    process runs until a client sends ``shutdown`` or the user
+    interrupts it; either way the per-endpoint stats are printed on the
+    way out.
+    """
+    from repro.serve import QueryServer, format_stats
+
+    structure, artifact = _load_any(args.structure)
+    engine = args.engine
+    if artifact is not None:
+        oracle = artifact.oracle(engine=engine)
+        origin = f"artifact {artifact.path} ({artifact.nbytes} bytes, mmap)"
+    else:
+        oracle = FTQueryOracle(structure, engine=engine)
+        origin = f"structure {args.structure} (rebuilt in-process)"
+    server = QueryServer(
+        oracle,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        artifact=artifact,
+    )
+    address = server.start()
+    g = structure.graph
+    print(f"serving {structure.builder}: n={g.n} |H|={structure.size} "
+          f"f={structure.max_faults} engine={engine or DEFAULT_ENGINE}")
+    print(f"  from {origin}")
+    if isinstance(address, str):
+        print(f"  listening on unix socket {address}")
+    else:
+        print(f"  listening on {address[0]}:{address[1]}")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        server.shutdown()
+    print(format_stats(server.stats.snapshot()))
     return 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    """Run one (or all) of the E1-E16 experiment benchmarks via pytest."""
+    """Run one (or all) of the E1-E17 experiment benchmarks via pytest."""
     import pathlib
 
     import pytest as _pytest
@@ -564,6 +660,16 @@ def make_parser() -> argparse.ArgumentParser:
         ),
     )
     p_build.add_argument("--out", required=True)
+    p_build.add_argument(
+        "--format",
+        choices=("auto", "json", "artifact"),
+        default="auto",
+        help=(
+            "output serialization: 'artifact' = mmap-loadable binary for "
+            "repro serve, 'json' = repro.core.io structure JSON; 'auto' "
+            "(default) picks artifact for .bin/.art/.artifact suffixes"
+        ),
+    )
     p_build.set_defaults(func=cmd_build)
 
     p_verify = sub.add_parser("verify", help="verify a saved structure")
@@ -629,10 +735,32 @@ def make_parser() -> argparse.ArgumentParser:
                          help="also write machine-readable results here")
     p_bench.set_defaults(func=cmd_bench)
 
-    p_exp = sub.add_parser(
-        "experiment", help="run an experiment benchmark (E1..E16 or 'all')"
+    p_serve = sub.add_parser(
+        "serve", help="serve queries from a saved structure or artifact"
     )
-    p_exp.add_argument("id", help="experiment id, e.g. e1, E16, all")
+    p_serve.add_argument("structure", help="artifact (.bin) or structure JSON")
+    p_serve.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="canonical engine answering served queries (default: %s)"
+        % DEFAULT_ENGINE,
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--socket", default=None,
+        help="serve on this unix socket path instead of TCP",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_exp = sub.add_parser(
+        "experiment", help="run an experiment benchmark (E1..E17 or 'all')"
+    )
+    p_exp.add_argument("id", help="experiment id, e.g. e1, E17, all")
     p_exp.set_defaults(func=cmd_experiment)
     return parser
 

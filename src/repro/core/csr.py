@@ -68,6 +68,7 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.errors import GraphError
 from repro.core.graph import Edge, Graph
 
 #: Stamp value meaning "never used"; all generation counters start above it.
@@ -170,8 +171,68 @@ class CSRGraph:
             )
             for u in range(n)
         ]
+        self._init_scratch()
+
+    @classmethod
+    def adopt(
+        cls,
+        graph: Graph,
+        indptr,
+        nbr,
+        arc_eid,
+        sorted_edges: Sequence[Edge],
+    ) -> "CSRGraph":
+        """A snapshot wrapping *preloaded* flat CSR arrays for ``graph``.
+
+        The serving layer (:mod:`repro.core.artifact`) persists a
+        snapshot's ``indptr``/``nbr``/``arc_eid`` vectors and hands the
+        mmap-backed sections straight back here on load, skipping the
+        adjacency walk and edge sort of :meth:`__init__` — the flat
+        arrays are adopted as-is (any object indexable like
+        ``array('q')``, e.g. a cast :class:`memoryview`, works; bulk
+        consumers go through the buffer protocol).  The per-vertex
+        iteration views and the pooled scratch are always rebuilt
+        fresh: they are derived state, not storage.
+
+        ``sorted_edges`` must be the graph's edges in sorted order —
+        exactly the edge-id order the stored ``arc_eid`` encodes.  Only
+        cheap shape invariants are checked here; content integrity is
+        the artifact layer's checksum's job.
+        """
+        graph.finalize()
+        n = graph.n
+        if len(indptr) != n + 1 or len(nbr) != len(arc_eid) or (
+            n >= 0 and len(nbr) != indptr[n]
+        ):
+            raise GraphError(
+                f"CSR arrays do not fit a graph on {n} vertices "
+                f"(indptr {len(indptr)}, nbr {len(nbr)}, "
+                f"arc_eid {len(arc_eid)})"
+            )
+        self = cls.__new__(cls)
+        self.n = n
+        self.version = graph.version
+        self.edge_index = {e: i for i, e in enumerate(sorted_edges)}
+        self.m = len(self.edge_index)
+        self.indptr = indptr
+        self.nbr = nbr
+        self.arc_eid = arc_eid
+        rows: List[Tuple[int, ...]] = []
+        arcs: List[Tuple[Tuple[int, int], ...]] = []
+        for u in range(n):
+            lo, hi = indptr[u], indptr[u + 1]
+            row = tuple(nbr[lo:hi])
+            rows.append(row)
+            arcs.append(tuple(zip(row, arc_eid[lo:hi])))
+        self.rows = rows
+        self.arcs = arcs
+        self._init_scratch()
+        return self
+
+    def _init_scratch(self) -> None:
+        """Allocate the pooled stamped scratch (see module docstring)."""
+        n = self.n
         self._bulk = None
-        # Pooled scratch (stamped; see module docstring).
         self._visit = [UNREACHED] * n
         self._dist = [0] * n
         self._parent = [0] * n

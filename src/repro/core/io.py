@@ -11,11 +11,23 @@ Two formats:
 
 Round-tripping is exact and covered by tests; loading re-validates the
 structure edges against the host graph.
+
+Output routing: every writer in the CLI and benchmark layers funnels
+its destination through :func:`resolve_out`, which redirects *relative*
+paths into ``REPRO_RESULTS_DIR`` when that variable is set (creating
+the directory).  Read-only checkouts — CI caches, mounted images, the
+serve process's working directory — set it once and every emitted file
+(structures, artifacts, ``bench --json``, ``BENCH_*.json``) lands in a
+writable place without touching any command line.  Absolute paths and
+explicit ``--out`` destinations are always honored verbatim;
+:func:`resolve_in` applies the same redirect when *reading* back a
+relative path that only exists under the results directory.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path as FsPath
 from typing import Union
 
@@ -26,6 +38,44 @@ from repro.ftbfs.structures import FTStructure, make_structure
 PathLike = Union[str, FsPath]
 
 FORMAT_VERSION = 1
+
+
+def results_dir() -> "FsPath | None":
+    """The ``REPRO_RESULTS_DIR`` override, or ``None`` when unset/empty."""
+    value = os.environ.get("REPRO_RESULTS_DIR", "").strip()
+    return FsPath(value) if value else None
+
+
+def resolve_out(path: PathLike) -> FsPath:
+    """Where to *write* ``path``: relative paths join ``REPRO_RESULTS_DIR``.
+
+    Absolute paths pass through untouched.  When the override applies,
+    the results directory (including parents) is created so callers can
+    open the returned path directly.
+    """
+    path = FsPath(path)
+    base = results_dir()
+    if path.is_absolute() or base is None:
+        return path
+    out = base / path
+    out.parent.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def resolve_in(path: PathLike) -> FsPath:
+    """Where to *read* ``path`` from: prefer it as given, else the redirect.
+
+    The mirror of :func:`resolve_out` for loads: a relative path that
+    does not exist in the CWD but does exist under ``REPRO_RESULTS_DIR``
+    resolves there, so ``repro build --out h.bin && repro serve h.bin``
+    works unchanged inside a redirected checkout.
+    """
+    path = FsPath(path)
+    base = results_dir()
+    if path.is_absolute() or base is None or path.exists():
+        return path
+    redirected = base / path
+    return redirected if redirected.exists() else path
 
 
 def graph_to_text(graph: Graph) -> str:
@@ -59,12 +109,12 @@ def graph_from_text(text: str) -> Graph:
 
 def save_graph(graph: Graph, path: PathLike) -> None:
     """Write a graph to an edge-list file."""
-    FsPath(path).write_text(graph_to_text(graph))
+    resolve_out(path).write_text(graph_to_text(graph))
 
 
 def load_graph(path: PathLike) -> Graph:
     """Read a graph from an edge-list file."""
-    return graph_from_text(FsPath(path).read_text())
+    return graph_from_text(resolve_in(path).read_text())
 
 
 def _jsonable_stats(stats: dict) -> dict:
@@ -116,9 +166,9 @@ def structure_from_json(text: str) -> FTStructure:
 
 def save_structure(structure: FTStructure, path: PathLike) -> None:
     """Write a structure JSON file."""
-    FsPath(path).write_text(structure_to_json(structure))
+    resolve_out(path).write_text(structure_to_json(structure))
 
 
 def load_structure(path: PathLike) -> FTStructure:
     """Read a structure JSON file."""
-    return structure_from_json(FsPath(path).read_text())
+    return structure_from_json(resolve_in(path).read_text())

@@ -35,6 +35,14 @@ class FTQueryOracle:
         default (or the vectorized numpy bulk kernel under
         ``lex-bulk``), and repeated queries are memoized in the
         process-wide snapshot cache.
+    subgraph:
+        A pre-materialized ``H`` to query instead of calling
+        ``structure.subgraph()``.  The serving layer
+        (:mod:`repro.core.artifact`) passes the graph whose CSR
+        snapshot was adopted from a mmap-backed artifact, so the
+        engine binds to the preloaded arrays instead of rebuilding
+        them.  The caller guarantees it equals ``structure``'s edge
+        set — artifacts do by construction.
 
     Notes
     -----
@@ -44,9 +52,9 @@ class FTQueryOracle:
     error.
     """
 
-    def __init__(self, structure: FTStructure, engine=None) -> None:
+    def __init__(self, structure: FTStructure, engine=None, subgraph=None) -> None:
         self.structure = structure
-        self._h = structure.subgraph()
+        self._h = subgraph if subgraph is not None else structure.subgraph()
         if engine is None:
             engine = make_engine(self._h)
         elif isinstance(engine, str):

@@ -179,3 +179,87 @@ class TestExperimentCommand:
         rc = main(["experiment", "e99"])
         assert rc == 2
         assert "no benchmark matches" in capsys.readouterr().err
+
+
+class TestArtifactCommands:
+    def test_build_artifact_info_query_verify(self, tmp_path, capsys):
+        out = tmp_path / "h.bin"
+        rc = main([
+            "build", "--graph", "er:n=18,p=0.2,seed=2",
+            "--builder", "cons2", "--source", "0", "--out", str(out),
+        ])
+        assert rc == 0
+        assert "(artifact)" in capsys.readouterr().out
+        from repro.core.artifact import is_artifact
+
+        assert is_artifact(out)
+
+        assert main(["info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "artifact:" in text and "sha256:" in text
+
+        assert main(["query", str(out), "--target", "5"]) == 0
+        assert "dist(" in capsys.readouterr().out
+
+        assert main(["verify", str(out), "--samples", "20"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_format_flag_overrides_suffix(self, tmp_path, capsys):
+        from repro.core.artifact import is_artifact
+
+        as_json = tmp_path / "h.bin"
+        rc = main([
+            "build", "--graph", "er:n=12,p=0.3,seed=1", "--builder", "single",
+            "--out", str(as_json), "--format", "json",
+        ])
+        assert rc == 0 and not is_artifact(as_json)
+        load_structure(as_json)  # plain structure JSON despite .bin
+
+        as_artifact = tmp_path / "h.json"
+        rc = main([
+            "build", "--graph", "er:n=12,p=0.3,seed=1", "--builder", "single",
+            "--out", str(as_artifact), "--format", "artifact",
+        ])
+        assert rc == 0 and is_artifact(as_artifact)
+        capsys.readouterr()
+
+    def test_artifact_and_json_queries_agree(self, tmp_path, capsys):
+        art = tmp_path / "h.bin"
+        js = tmp_path / "h.json"
+        spec = ["--graph", "er:n=18,p=0.2,seed=2", "--builder", "cons2",
+                "--source", "0"]
+        assert main(["build", *spec, "--out", str(art)]) == 0
+        assert main(["build", *spec, "--out", str(js)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(art), "--target", "7"]) == 0
+        art_out = capsys.readouterr().out
+        assert main(["query", str(js), "--target", "7"]) == 0
+        assert capsys.readouterr().out == art_out
+
+    def test_build_redirects_through_results_dir(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "build", "--graph", "er:n=12,p=0.3,seed=1",
+            "--builder", "single", "--out", "h.bin",
+        ])
+        assert rc == 0
+        assert (tmp_path / "results" / "h.bin").exists()
+        assert not (tmp_path / "h.bin").exists()
+        assert main(["info", "h.bin"]) == 0  # resolve_in redirect
+        capsys.readouterr()
+
+    def test_bench_json_redirects_through_results_dir(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "bench", "--graph", "er:n=12,p=0.3,seed=2", "--builder", "single",
+            "--engine", "lex-csr", "--rounds", "1", "--json", "bench.json",
+        ])
+        assert rc == 0
+        assert (tmp_path / "results" / "bench.json").exists()
+        capsys.readouterr()

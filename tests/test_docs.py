@@ -30,7 +30,13 @@ PATH_RE = re.compile(
 
 def test_doc_files_exist():
     assert (ROOT / "README.md").is_file()
-    for name in ("architecture.md", "tuning.md", "benchmarks.md", "kernels.md"):
+    for name in (
+        "architecture.md",
+        "tuning.md",
+        "benchmarks.md",
+        "kernels.md",
+        "serving.md",
+    ):
         assert (ROOT / "docs" / name).is_file(), name
 
 

@@ -94,3 +94,60 @@ class TestStructureJson:
         path = tmp_path / "h.json"
         save_structure(h, path)
         assert load_structure(path).edges == h.edges
+
+
+class TestResultsDirRouting:
+    """REPRO_RESULTS_DIR redirects relative output/input paths."""
+
+    def test_resolve_out_redirects_relative(self, tmp_path, monkeypatch):
+        from repro.core.io import resolve_out
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        out = resolve_out("sub/file.json")
+        assert out == tmp_path / "results" / "sub" / "file.json"
+        assert out.parent.is_dir()  # created so callers can open directly
+
+    def test_resolve_out_passes_absolute_through(self, tmp_path, monkeypatch):
+        from repro.core.io import resolve_out
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        assert resolve_out(tmp_path / "abs.json") == tmp_path / "abs.json"
+
+    def test_resolve_out_noop_without_env(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        from repro.core.io import resolve_out
+
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        assert resolve_out("file.json") == Path("file.json")
+
+    def test_resolve_in_prefers_existing_cwd_file(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        from repro.core.io import resolve_in
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        monkeypatch.chdir(tmp_path)
+        local = tmp_path / "here.json"
+        local.write_text("{}")
+        assert resolve_in("here.json") == Path("here.json")
+
+    def test_structure_roundtrip_through_results_dir(
+        self, tmp_path, monkeypatch
+    ):
+        """save/load against a read-only CWD via the redirect."""
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        monkeypatch.chdir(tmp_path)
+        g = erdos_renyi(10, 0.3, seed=11)
+        h = build_cons2ftbfs(g, 0)
+        save_structure(h, "redirected.json")
+        assert not (tmp_path / "redirected.json").exists()
+        assert (tmp_path / "results" / "redirected.json").exists()
+        assert load_structure("redirected.json").edges == h.edges
+
+    def test_graph_roundtrip_through_results_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        monkeypatch.chdir(tmp_path)
+        g = erdos_renyi(9, 0.3, seed=12)
+        save_graph(g, "g.edges")
+        assert load_graph("g.edges") == g

@@ -1,0 +1,372 @@
+"""Tests for the query server and its wire protocol (repro.serve)."""
+
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.artifact import save_artifact
+from repro.core.canonical import ENGINES
+from repro.core.errors import GraphError
+from repro.ftbfs import FTQueryOracle, build_cons2ftbfs
+from repro.generators import erdos_renyi
+from repro.serve import (
+    MAX_FRAME,
+    QueryServer,
+    ServeClient,
+    ServerStats,
+    format_stats,
+    recv_msg,
+    send_msg,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def sample_structure(n=24, p=0.18, seed=6):
+    return build_cons2ftbfs(erdos_renyi(n, p, seed=seed), 0)
+
+
+def sample_faults(structure, k=2):
+    """k structure edges not incident to the source (keeps 0 connected)."""
+    return [e for e in sorted(structure.edges) if 0 not in e][:k]
+
+
+@pytest.fixture()
+def running_server():
+    """A started server over a small structure; shut down afterwards."""
+    structure = sample_structure()
+    server = QueryServer(FTQueryOracle(structure))
+    address = server.start()
+    yield structure, server, address
+    server.shutdown()
+
+
+class TestProtocolFraming:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_msg(a, {"op": "ping", "x": [1, 2]})
+            assert recv_msg(b) == {"op": "ping", "x": [1, 2]}
+
+    def test_closed_peer_yields_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        with b:
+            assert recv_msg(b) is None
+
+    def test_oversize_frame_refused_at_both_ends(self):
+        a, b = socket.socketpair()
+        with a, b:
+            with pytest.raises(GraphError):
+                send_msg(a, {"blob": "x" * (MAX_FRAME + 1)})
+            a.sendall(struct.pack("!I", MAX_FRAME + 1))
+            with pytest.raises(GraphError):
+                recv_msg(b)
+
+
+class TestServerStats:
+    def test_exact_counts_and_percentiles(self):
+        stats = ServerStats()
+        for ms in (1, 2, 3, 4, 100):
+            stats.record("point", ms / 1000.0)
+        stats.record("point", 0.5, error=True)
+        snap = stats.snapshot()
+        ep = snap["endpoints"]["point"]
+        assert ep["count"] == 6
+        assert ep["errors"] == 1
+        assert snap["requests"] == 6
+        assert snap["errors"] == 1
+        assert ep["p50_ms"] == pytest.approx(3.0)
+        assert ep["p99_ms"] == pytest.approx(500.0)
+
+    def test_sample_cap_evicts_oldest(self):
+        stats = ServerStats()
+        for i in range(ServerStats.MAX_SAMPLES + 100):
+            stats.record("point", float(i))
+        ep = stats.snapshot()["endpoints"]["point"]
+        assert ep["count"] == ServerStats.MAX_SAMPLES + 100
+        # Oldest 100 samples evicted: the minimum retained is 100.0.
+        assert ep["p50_ms"] >= 100.0 * 1000.0
+
+    def test_format_stats_renders_every_endpoint(self):
+        stats = ServerStats()
+        stats.record("point", 0.001)
+        stats.record("batch", 0.002)
+        text = format_stats(stats.snapshot())
+        assert "point" in text and "batch" in text and "p99" in text
+
+
+class TestEndpoints:
+    def test_ping_info(self, running_server):
+        structure, server, address = running_server
+        with ServeClient(address) as client:
+            assert client.ping()
+            info = client.info()
+            assert info["builder"] == structure.builder
+            assert info["n"] == structure.graph.n
+            assert info["max_faults"] == structure.max_faults
+            assert info["artifact"] is None
+
+    def test_point_batch_path_identity(self, running_server):
+        structure, server, address = running_server
+        fresh = FTQueryOracle(structure)
+        faults = sample_faults(structure)
+        n = structure.graph.n
+        with ServeClient(address) as client:
+            for t in range(n):
+                for f in ((), faults):
+                    d = fresh.distance(0, t, f)
+                    expected = -1 if d == float("inf") else int(d)
+                    assert client.point(0, t, f) == expected
+            hops = client.batch(
+                [
+                    {"source": 0, "target": t, "faults": [list(e) for e in faults]}
+                    for t in range(n)
+                ]
+            )
+            assert hops == [
+                -1 if fresh.distance(0, t, faults) == float("inf")
+                else int(fresh.distance(0, t, faults))
+                for t in range(n)
+            ]
+            for t in range(n):
+                served_hops, served_route = client.path(0, t)
+                if fresh.distance(0, t) == float("inf"):
+                    assert (served_hops, served_route) == (-1, None)
+                else:
+                    assert served_route == list(fresh.path(0, t).vertices)
+
+    def test_error_responses_are_typed_and_connection_survives(
+        self, running_server
+    ):
+        structure, server, address = running_server
+        with ServeClient(address) as client:
+            resp = client.request("point", source=99, target=0)
+            assert not resp["ok"]
+            assert resp["error_type"] == "GraphError"
+            resp = client.request(
+                "point", source=0, target=1,
+                faults=[[1, 2], [3, 4], [5, 6]],
+            )
+            assert not resp["ok"] and "budget" in resp["error"]
+            resp = client.request("explode")
+            assert resp["error_type"] == "ProtocolError"
+            resp = client.request("point", source=0)  # missing target
+            assert resp["error_type"] == "ProtocolError"
+            assert client.ping()  # same connection still serves
+
+    def test_stats_request_counts_are_exact(self, running_server):
+        structure, server, address = running_server
+        with ServeClient(address) as client:
+            for _ in range(5):
+                client.ping()
+            client.request("nope")
+            snap = client.stats()
+            assert snap["endpoints"]["ping"]["count"] == 5
+            assert snap["endpoints"]["unknown"]["errors"] == 1
+            # A request is recorded when its handler returns, so the
+            # stats call shows up in the *next* snapshot, not its own.
+            assert "stats" not in snap["endpoints"]
+            assert client.stats()["endpoints"]["stats"]["count"] == 1
+
+    def test_malformed_frame_drops_connection_and_is_counted(
+        self, running_server
+    ):
+        structure, server, address = running_server
+        raw = socket.create_connection(address)
+        with raw:
+            raw.sendall(struct.pack("!I", 12) + b"not json....")
+            assert raw.recv(1) == b""  # server hung up
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if server.stats.snapshot()["endpoints"].get("malformed"):
+                break
+            time.sleep(0.01)
+        assert server.stats.snapshot()["endpoints"]["malformed"]["errors"] == 1
+
+    def test_shutdown_op_refuses_new_connections(self):
+        server = QueryServer(FTQueryOracle(sample_structure()))
+        address = server.start()
+        with ServeClient(address) as client:
+            client.shutdown()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                ServeClient(address, timeout=1.0).close()
+            except OSError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("listener still accepting after shutdown op")
+
+
+@pytest.mark.parametrize("engine", ["lex", "lex-csr", "lex-bulk", "lex-c"])
+def test_served_answers_bit_identical_across_engines(tmp_path, engine):
+    """Artifact-served results equal in-process results, per engine tier."""
+    if engine not in ENGINES:
+        pytest.skip(f"engine {engine!r} unavailable on this host")
+    from repro.core.artifact import load_artifact
+
+    structure = sample_structure()
+    fresh = FTQueryOracle(structure, engine=engine)
+    path = save_artifact(structure, tmp_path / "h.bin")
+    with load_artifact(path) as artifact:
+        server = QueryServer(artifact.oracle(engine=engine), artifact=artifact)
+        address = server.start()
+        try:
+            faults = sample_faults(structure)
+            n = structure.graph.n
+            with ServeClient(address) as client:
+                assert client.info()["engine"] == engine
+                for t in range(n):
+                    for f in ((), faults[:1], faults):
+                        d = fresh.distance(0, t, f)
+                        expected = -1 if d == float("inf") else int(d)
+                        assert client.point(0, t, f) == expected
+                hops = client.batch(
+                    [{"source": 0, "target": t} for t in range(n)]
+                )
+                assert hops == [
+                    -1 if fresh.distance(0, t) == float("inf")
+                    else int(fresh.distance(0, t))
+                    for t in range(n)
+                ]
+                for t in range(n):
+                    served_hops, served_route = client.path(0, t, faults)
+                    if fresh.distance(0, t, faults) == float("inf"):
+                        assert (served_hops, served_route) == (-1, None)
+                    else:
+                        assert served_route == list(
+                            fresh.path(0, t, faults).vertices
+                        )
+        finally:
+            server.shutdown()
+
+
+def test_concurrent_clients_exact_stats_accounting():
+    """8 threads x 50 requests: totals stay exact under interleaving.
+
+    The serving mirror of test_snapshot_cache's concurrent hammer: each
+    client thread issues point + batch requests on its own connection
+    and every one must be answered correctly and counted exactly once.
+    """
+    structure = sample_structure()
+    fresh = FTQueryOracle(structure)
+    n = structure.graph.n
+    expected = [
+        -1 if fresh.distance(0, t) == float("inf") else int(fresh.distance(0, t))
+        for t in range(n)
+    ]
+    server = QueryServer(FTQueryOracle(structure))
+    address = server.start()
+    nthreads, kops = 8, 50
+    errors = []
+
+    def hammer(tid):
+        try:
+            with ServeClient(address) as client:
+                for i in range(kops):
+                    t = (tid * kops + i) % n
+                    assert client.point(0, t) == expected[t]
+                assert client.batch(
+                    [{"source": 0, "target": t} for t in range(n)]
+                ) == expected
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(nthreads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    server.shutdown()
+    assert not errors
+    snap = server.stats.snapshot()
+    assert snap["endpoints"]["point"]["count"] == nthreads * kops
+    assert snap["endpoints"]["point"]["errors"] == 0
+    assert snap["endpoints"]["batch"]["count"] == nthreads
+    assert snap["requests"] == nthreads * (kops + 1)
+    assert snap["errors"] == 0
+
+
+def test_unix_socket_serving(tmp_path):
+    structure = sample_structure()
+    sock_path = str(tmp_path / "repro.sock")
+    server = QueryServer(FTQueryOracle(structure), socket_path=sock_path)
+    address = server.start()
+    assert address == sock_path and os.path.exists(sock_path)
+    try:
+        with ServeClient(address) as client:
+            assert client.ping()
+            assert client.point(0, 0) == 0
+    finally:
+        server.shutdown()
+    assert not os.path.exists(sock_path)  # unlinked on shutdown
+
+
+def test_cli_build_then_serve_subprocess(tmp_path):
+    """`repro build --out h.bin && repro serve h.bin` answers queries."""
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    out = tmp_path / "h.bin"
+    built = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "build",
+            "--graph", "er:n=24,p=0.18,seed=6", "--builder", "cons2",
+            "--source", "0", "--out", str(out),
+        ],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert built.returncode == 0, built.stderr
+    assert "(artifact)" in built.stdout
+
+    sock_path = str(tmp_path / "serve.sock")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(out),
+            "--socket", sock_path,
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        while not os.path.exists(sock_path):
+            assert proc.poll() is None, proc.stdout.read()
+            assert time.monotonic() < deadline, "server did not come up"
+            time.sleep(0.05)
+        structure = sample_structure()
+        fresh = FTQueryOracle(structure)
+        with ServeClient(sock_path) as client:
+            info = client.info()
+            assert info["artifact"]["path"].endswith("h.bin")
+            d = fresh.distance(0, structure.graph.n - 1)
+            expected = -1 if d == float("inf") else int(d)
+            assert client.point(0, structure.graph.n - 1) == expected
+            client.shutdown()
+        stdout, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0, stdout
+        assert "served" in stdout and "point" in stdout  # stats table
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+
+def test_handle_is_a_plain_function_surface():
+    """handle() answers request dicts without any socket (used by tests)."""
+    structure = sample_structure()
+    server = QueryServer(FTQueryOracle(structure))
+    response = server.handle({"op": "ping"})
+    assert response == {"pong": True, "ok": True}
+    response = server.handle({"op": "point", "source": 0, "target": 0})
+    assert response["hops"] == 0
+    response = server.handle(json.loads('{"op": "nope"}'))
+    assert response["error_type"] == "ProtocolError"
