@@ -1,0 +1,264 @@
+"""E18 — topology churn: incremental deltas vs rebuild-from-scratch.
+
+A deployed oracle does not get to assume a frozen network: links flap,
+capacity is re-leased, the ER scenario drifts one edge at a time.  PR 8
+added the delta-aware update path — :meth:`repro.core.graph.Graph
+.apply_delta` producing an incrementally patched CSR snapshot
+(:class:`~repro.core.csr.DeltaCSRGraph`), with the survival
+certificates of :mod:`repro.core.delta` migrating every cached answer
+the delta provably did not change.  This benchmark prices that path
+against the only alternative the pre-delta system had: throw the state
+away and rebuild.
+
+**Churn loop vs rebuild loop** (the headline, enforced by CI).  Per
+ladder rung, a deterministic script of ``k`` single-edge updates (each
+removes one random edge and inserts one random non-edge, keeping ``m``
+constant) is absorbed two ways, each followed by the same probe set —
+full distance vectors from 8 sources plus two 64-target point-query
+fans, i.e. the read traffic a serving window sees between updates:
+
+* *incremental* — one long-lived graph: ``apply_delta`` per update,
+  then the probes; the engine and oracle stay bound and the snapshot
+  cache migrates across each delta;
+* *rebuild* — per update: drop the cache, build a fresh
+  :class:`~repro.core.graph.Graph` over the mutated edge set, re-warm
+  the same engine/oracle state, then the probes.
+
+Both arms must produce bit-identical probe results at every step
+(asserted before any timing is trusted), and at the ``n >= 1000``
+rungs the incremental arm's speedup must meet
+``REPRO_BENCH_MIN_CHURN_VS_REBUILD``.
+
+**Migration accounting.**  The incremental arm also reports the
+survival-certificate counters (``delta_survived`` / ``delta_evicted``
+/ ``delta_rechecked``) accumulated across the script — the mechanism
+column behind the speedup: most warm entries carry over, few are
+recomputed.
+
+Environment knobs (used by CI's smoke run):
+
+``REPRO_E18_SIZES``
+    Comma list of ``n:p`` ER ladder rungs (default
+    ``200:0.035,1000:0.008``).
+``REPRO_E18_UPDATES``
+    Updates ``k`` per churn script (default 32).
+``REPRO_BENCH_MIN_CHURN_VS_REBUILD``
+    Required incremental-vs-rebuild speedup at the ``n >= 1000`` rungs
+    (default 0 = informational; CI's nightly leg enforces 5.0, the
+    smoke leg 2.0 at its n=200 rung — smoke applies the floor to its
+    largest rung regardless of size via the same knob).
+``REPRO_BENCH_ROUNDS``
+    Best-of rounds per timed arm (default 2).
+"""
+
+import os
+import random
+import time
+
+from repro.core.canonical import DistanceOracle, make_engine
+from repro.core.graph import Graph
+from repro.core.snapshot_cache import shared_cache
+from repro.generators import erdos_renyi
+
+from _common import RESULTS_DIR, cold_cache, emit, emit_json, table
+
+VEC_SOURCES = 8
+PT_SOURCES = 2
+PT_TARGETS = 64
+COUNTERS = ("delta_survived", "delta_evicted", "delta_rechecked")
+
+
+def _sizes():
+    spec = os.environ.get("REPRO_E18_SIZES", "200:0.035,1000:0.008")
+    out = []
+    for item in spec.split(","):
+        n, p = item.split(":")[:2]
+        out.append((int(n), float(p)))
+    return out
+
+
+def _updates():
+    return max(1, int(os.environ.get("REPRO_E18_UPDATES", "32")))
+
+
+def _rounds():
+    return max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "2")))
+
+
+def _script(n, edges, k, seed):
+    """k deterministic single-edge swaps (remove one, insert one)."""
+    rng = random.Random(seed)
+    eset = set(edges)
+    steps = []
+    for _ in range(k):
+        out_edge = rng.choice(sorted(eset))
+        while True:
+            u, v = rng.sample(range(n), 2)
+            in_edge = (min(u, v), max(u, v))
+            if in_edge not in eset and in_edge != out_edge:
+                break
+        eset.remove(out_edge)
+        eset.add(in_edge)
+        steps.append((in_edge, out_edge))
+    return steps
+
+
+def _warm(graph, n):
+    """Serve-ready state: engine searches, distance vectors, pt fans."""
+    engine = make_engine(graph)
+    oracle = DistanceOracle(graph)
+    targets = range(0, n, max(1, n // PT_TARGETS))
+    for s in range(VEC_SOURCES):
+        engine.search(s)
+        oracle.distances_from(s)
+    for s in range(PT_SOURCES):
+        for t in targets:
+            oracle.distance(s, t)
+    return engine, oracle
+
+
+def _probe(oracle, n):
+    """The read traffic between updates; returns a comparable signature."""
+    targets = range(0, n, max(1, n // PT_TARGETS))
+    sig = [tuple(oracle.distances_from(s)) for s in range(VEC_SOURCES)]
+    for s in range(PT_SOURCES):
+        sig.append(tuple(oracle.distance(s, t) for t in targets))
+    return sig
+
+
+def _incremental_arm(n, base_edges, steps):
+    """One long-lived graph absorbing the whole script."""
+    cold_cache()
+    g = Graph(n, base_edges)
+    _, oracle = _warm(g, n)
+    before = {k: shared_cache().stats().get(k, 0) for k in COUNTERS}
+    sigs = []
+    t0 = time.perf_counter()
+    for in_edge, out_edge in steps:
+        g.apply_delta(adds=[in_edge], removes=[out_edge])
+        sigs.append(_probe(oracle, n))
+    elapsed = time.perf_counter() - t0
+    after = shared_cache().stats()
+    counters = {k: after.get(k, 0) - before[k] for k in COUNTERS}
+    return elapsed, sigs, counters
+
+
+def _rebuild_arm(n, base_edges, steps):
+    """Per update: cold cache, fresh graph, re-warm, same probes."""
+    eset = set(base_edges)
+    sigs = []
+    t0 = time.perf_counter()
+    for in_edge, out_edge in steps:
+        eset.remove(out_edge)
+        eset.add(in_edge)
+        cold_cache()
+        g = Graph(n, sorted(eset))
+        _, oracle = _warm(g, n)
+        sigs.append(_probe(oracle, n))
+    elapsed = time.perf_counter() - t0
+    return elapsed, sigs
+
+
+def test_e18_churn(benchmark):
+    rounds = _rounds()
+    k = _updates()
+    floor = float(os.environ.get("REPRO_BENCH_MIN_CHURN_VS_REBUILD", "0"))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    rows = []
+    entries = []
+    sizes = _sizes()
+    for n, p in sizes:
+        g0 = erdos_renyi(n, p, seed=18)
+        base_edges = sorted(g0.edges())
+        steps = _script(n, base_edges, k, seed=18)
+
+        best_inc = float("inf")
+        counters = {key: 0 for key in COUNTERS}
+        sigs_inc = None
+        for _ in range(rounds):
+            t, sigs_inc, counters = _incremental_arm(n, base_edges, steps)
+            best_inc = min(best_inc, t)
+        best_reb = float("inf")
+        for _ in range(rounds):
+            t, sigs_reb = _rebuild_arm(n, base_edges, steps)
+            best_reb = min(best_reb, t)
+            assert sigs_reb == sigs_inc  # identity before speed, every step
+        speedup = best_reb / best_inc if best_inc else float("inf")
+
+        entry = {
+            "n": n,
+            "p": p,
+            "m": len(base_edges),
+            "updates": k,
+            "incremental_s": best_inc,
+            "rebuild_s": best_reb,
+            "speedup": speedup,
+            "per_update_incremental_ms": 1000.0 * best_inc / k,
+            "per_update_rebuild_ms": 1000.0 * best_reb / k,
+            **counters,
+        }
+        entries.append(entry)
+        rows.append(
+            [
+                n,
+                len(base_edges),
+                k,
+                f"{1000.0 * best_inc:.1f}",
+                f"{1000.0 * best_reb:.1f}",
+                f"{speedup:.1f}x",
+                counters["delta_survived"],
+                counters["delta_evicted"],
+                counters["delta_rechecked"],
+            ]
+        )
+
+    body = table(
+        [
+            "n",
+            "m",
+            "updates",
+            "incremental ms",
+            "rebuild ms",
+            "speedup",
+            "survived",
+            "evicted",
+            "rechecked",
+        ],
+        rows,
+    )
+    note = (
+        "per update: one edge swap + 8 distance vectors + 2x64 point fans; "
+        "bit-identical probe results asserted between arms at every step"
+    )
+    emit("E18", "topology churn (incremental deltas vs rebuilds)", body + "\n" + note)
+    emit_json(
+        "e18",
+        {
+            "experiment": "e18_churn",
+            "updates": k,
+            "rounds": rounds,
+            "probe_vec_sources": VEC_SOURCES,
+            "probe_pt_fans": [PT_SOURCES, PT_TARGETS],
+            "min_churn_vs_rebuild_floor": floor,
+            "entries": entries,
+        },
+    )
+    if floor:
+        gated = [e for e in entries if e["n"] >= 1000] or entries[-1:]
+        for entry in gated:
+            assert entry["speedup"] >= floor, (
+                f"incremental churn only {entry['speedup']:.1f}x faster "
+                f"than rebuilds at n={entry['n']} (required {floor}x)"
+            )
+
+    # pytest-benchmark bookkeeping: one cheap representative round (the
+    # real measurements above are manual best-of timings).
+    n0, p0 = sizes[0]
+    g_small = erdos_renyi(n0, p0, seed=18)
+    edges_small = sorted(g_small.edges())
+    step_small = _script(n0, edges_small, 1, seed=18)
+    benchmark.pedantic(
+        lambda: _incremental_arm(n0, edges_small, step_small),
+        rounds=1,
+        iterations=1,
+    )

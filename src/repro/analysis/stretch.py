@@ -67,7 +67,7 @@ def _stretch_shard(payload, chunk):
     reassembled vectors, so every float is accumulated in the same
     order and the profile is bit-identical to ``jobs=1``.
     """
-    n, g_edges, h_edges, source = payload
+    (n, g_edges), h_edges, source = payload
     g = Graph(n, g_edges)
     h = Graph(n, h_edges)
     parallel.worker_counters_begin()
@@ -101,7 +101,7 @@ def stretch_profile(
     fault_list = list(fault_sets)
     njobs = parallel.effective_jobs(jobs, items=len(fault_list))
     if njobs > 1 and len(fault_list) > 1:
-        payload = (graph.n, sorted(graph.edges()), sorted(h.edges()), source)
+        payload = (parallel.graph_payload(graph), sorted(h.edges()), source)
         sharded = parallel.run_sharded(
             _stretch_shard,
             fault_list,

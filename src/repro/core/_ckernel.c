@@ -75,7 +75,7 @@ PyInit__ckernel(void)
 /* Bumped whenever an exported signature changes; the ctypes wrapper
  * refuses a library whose ABI tag it does not recognize (stale cached
  * build of an older source). */
-#define REPRO_CKERNEL_ABI 2
+#define REPRO_CKERNEL_ABI 3
 
 REPRO_EXPORT int64_t
 repro_ckernel_abi(void)
@@ -163,19 +163,24 @@ bidir_one(const int64_t *indptr, const int32_t *nbr, const int32_t *arc_eid,
     return -1;
 }
 
-/* The shared per-range loop behind both multi-pair entry points:
- * queries [q_lo, q_hi) of the batch, each stamping its bans at
- * generation gen_base + q + 1 into the caller-supplied scratch.  The
- * generation is a function of the *global* query index, not the
- * range, so a batch split across ranges with disjoint scratch stamps
- * exactly the generations the serial loop would. */
+/* The shared strided loop behind both multi-pair entry points:
+ * queries q_start, q_start + q_step, ... below nq, each stamping its
+ * bans at generation gen_base + q + 1 into the caller-supplied
+ * scratch.  The generation is a function of the *global* query index,
+ * not the stride, so a batch interleaved across threads with disjoint
+ * scratch stamps exactly the generations the serial loop would —
+ * results are bit-identical for any (start, step) partition.  The
+ * interleaving (vs the old contiguous range split) is what keeps a
+ * skewed batch from idling cores: expensive queries cluster (one
+ * fault-set group's probes arrive adjacent), and a round-robin deal
+ * spreads each cluster across every thread. */
 static void
 pair_range(const int64_t *indptr, const int32_t *nbr,
-           const int32_t *arc_eid,
+           const int32_t *arc_eid, int64_t nq,
            const int32_t *q_src, const int32_t *q_tgt,
            const int64_t *eb_off, const int32_t *eb_ids,
            const int64_t *vb_off, const int32_t *vb_ids,
-           int64_t gen_base, int64_t q_lo, int64_t q_hi,
+           int64_t gen_base, int64_t q_start, int64_t q_step,
            int64_t *visit_s, int32_t *dist_s,
            int64_t *visit_t, int32_t *dist_t,
            int64_t *eban, int64_t *vban,
@@ -183,7 +188,7 @@ pair_range(const int64_t *indptr, const int32_t *nbr,
            int32_t *ft, int32_t *ft_next,
            int32_t *out)
 {
-    for (int64_t q = q_lo; q < q_hi; q++) {
+    for (int64_t q = q_start; q < nq; q += q_step) {
         int64_t gen = gen_base + q + 1;
         int have_e = 0, have_v = 0;
         for (int64_t i = eb_off[q]; i < eb_off[q + 1]; i++) {
@@ -220,17 +225,19 @@ repro_multi_pair_dists(const int64_t *indptr, const int32_t *nbr,
                        int32_t *ft, int32_t *ft_next,
                        int32_t *out)
 {
-    pair_range(indptr, nbr, arc_eid, q_src, q_tgt, eb_off, eb_ids, vb_off,
-               vb_ids, gen_base, 0, nq, visit_s, dist_s, visit_t, dist_t,
-               eban, vban, fs, fs_next, ft, ft_next, out);
+    pair_range(indptr, nbr, arc_eid, nq, q_src, q_tgt, eb_off, eb_ids,
+               vb_off, vb_ids, gen_base, 0, 1, visit_s, dist_s, visit_t,
+               dist_t, eban, vban, fs, fs_next, ft, ft_next, out);
 }
 
-/* One thread's slice of a threaded multi-pair batch: the query range
- * plus pointers to that thread's private scratch slabs. */
+/* One thread's interleaved share of a threaded multi-pair batch: its
+ * (start, step) stride plus pointers to that thread's private scratch
+ * slabs. */
 typedef struct {
     const int64_t *indptr;
     const int32_t *nbr;
     const int32_t *arc_eid;
+    int64_t nq;
     const int32_t *q_src;
     const int32_t *q_tgt;
     const int64_t *eb_off;
@@ -238,8 +245,8 @@ typedef struct {
     const int64_t *vb_off;
     const int32_t *vb_ids;
     int64_t gen_base;
-    int64_t q_lo;
-    int64_t q_hi;
+    int64_t q_start;
+    int64_t q_step;
     int64_t *visit_s;
     int32_t *dist_s;
     int64_t *visit_t;
@@ -254,11 +261,11 @@ typedef struct {
 static void
 pair_job_run(pair_job *j)
 {
-    pair_range(j->indptr, j->nbr, j->arc_eid, j->q_src, j->q_tgt, j->eb_off,
-               j->eb_ids, j->vb_off, j->vb_ids, j->gen_base, j->q_lo, j->q_hi,
-               j->visit_s, j->dist_s, j->visit_t, j->dist_t, j->eban, j->vban,
-               j->fr, j->fr + j->n, j->fr + 2 * j->n, j->fr + 3 * j->n,
-               j->out);
+    pair_range(j->indptr, j->nbr, j->arc_eid, j->nq, j->q_src, j->q_tgt,
+               j->eb_off, j->eb_ids, j->vb_off, j->vb_ids, j->gen_base,
+               j->q_start, j->q_step, j->visit_s, j->dist_s, j->visit_t,
+               j->dist_t, j->eban, j->vban, j->fr, j->fr + j->n,
+               j->fr + 2 * j->n, j->fr + 3 * j->n, j->out);
 }
 
 #ifndef _WIN32
@@ -270,17 +277,20 @@ pair_job_thread(void *arg)
 }
 #endif
 
-/* Threaded variant of repro_multi_pair_dists: the query range is split
- * into nthreads contiguous slices, each run on its own thread against
- * its own scratch slabs (slab t starts at offset t*n — or t*m for
- * eban, t*4*n for the frontier block).  Queries never share scratch,
- * each writes only out[q], and generations are a function of the
- * global query index (see pair_range), so results are bit-identical
- * to the serial entry point for any thread count.  The caller holds
- * no lock during the call (ctypes releases the GIL); it only promises
- * the scratch slabs are not used concurrently by anything else.
- * Thread-creation failure degrades that slice to inline execution —
- * slower, never wrong. */
+/* Threaded variant of repro_multi_pair_dists: thread t serves the
+ * interleaved queries t, t + nthreads, t + 2*nthreads, ... against its
+ * own scratch slabs (slab t starts at offset t*n — or t*m for eban,
+ * t*4*n for the frontier block; m is the caller's per-thread eban
+ * stride, its edge-id address bound).  The round-robin deal replaces
+ * the old contiguous range split, which left cores idle on skewed
+ * batches where expensive queries cluster.  Queries never share
+ * scratch, each writes only out[q], and generations are a function of
+ * the global query index (see pair_range), so results are
+ * bit-identical to the serial entry point for any thread count.  The
+ * caller holds no lock during the call (ctypes releases the GIL); it
+ * only promises the scratch slabs are not used concurrently by
+ * anything else.  Thread-creation failure degrades that stride to
+ * inline execution — slower, never wrong. */
 REPRO_EXPORT void
 repro_multi_pair_dists_mt(const int64_t *indptr, const int32_t *nbr,
                           const int32_t *arc_eid, int64_t nq,
@@ -303,14 +313,12 @@ repro_multi_pair_dists_mt(const int64_t *indptr, const int32_t *nbr,
     if (nthreads < 1)
         nthreads = 1;
     pair_job jobs[MT_MAX_THREADS];
-    int64_t base = nq / nthreads, rem = nq % nthreads;
-    int64_t lo = 0;
     for (int64_t t = 0; t < nthreads; t++) {
-        int64_t hi = lo + base + (t < rem ? 1 : 0);
         pair_job *j = &jobs[t];
         j->indptr = indptr;
         j->nbr = nbr;
         j->arc_eid = arc_eid;
+        j->nq = nq;
         j->q_src = q_src;
         j->q_tgt = q_tgt;
         j->eb_off = eb_off;
@@ -318,8 +326,8 @@ repro_multi_pair_dists_mt(const int64_t *indptr, const int32_t *nbr,
         j->vb_off = vb_off;
         j->vb_ids = vb_ids;
         j->gen_base = gen_base;
-        j->q_lo = lo;
-        j->q_hi = hi;
+        j->q_start = t;
+        j->q_step = nthreads;
         j->visit_s = visit_s + t * n;
         j->dist_s = dist_s + t * n;
         j->visit_t = visit_t + t * n;
@@ -329,7 +337,6 @@ repro_multi_pair_dists_mt(const int64_t *indptr, const int32_t *nbr,
         j->fr = frontiers + t * 4 * n;
         j->n = n;
         j->out = out;
-        lo = hi;
     }
 #ifndef _WIN32
     pthread_t tids[MT_MAX_THREADS];

@@ -113,10 +113,13 @@ def kernel_dispatch_stats(graph: Graph, reset: bool = False):
     kernel = csr._bulk if csr is not None else None
     if kernel is None:
         return None
-    stats = dict(kernel.dispatch_stats)
+    stats = {
+        key: (dict(value) if isinstance(value, dict) else value)
+        for key, value in kernel.dispatch_stats.items()
+    }
     if reset:
-        for key in kernel.dispatch_stats:
-            kernel.dispatch_stats[key] = 0
+        for key, value in kernel.dispatch_stats.items():
+            kernel.dispatch_stats[key] = {} if isinstance(value, dict) else 0
     return stats
 
 
@@ -159,6 +162,7 @@ class BulkCSRKernel:
         "csr",
         "n",
         "m",
+        "eid_cap",
         "vectorized",
         "_indptr",
         "_indptr1",
@@ -199,6 +203,10 @@ class BulkCSRKernel:
         n = csr.n
         self.n = n
         self.m = csr.m
+        # Edge-id address bound: >= m on patched (delta) snapshots,
+        # where deleted ids leave holes; every per-eid table/stride
+        # below must use this, not m (see repro.core.csr).
+        self.eid_cap = csr.eid_cap
         threshold = _min_bulk_n() if min_bulk_n is None else min_bulk_n
         self.vectorized = n >= threshold
         self._ck = None
@@ -210,6 +218,10 @@ class BulkCSRKernel:
         self.dispatch_stats = {
             "pairs_c": 0,
             "pairs_c_mt": 0,
+            # thread index -> pairs served by that thread under the
+            # strided multi-pair split (observability for the
+            # interleaved assignment; sums to pairs_c_mt).
+            "pairs_c_mt_threads": {},
             "pairs_dense": 0,
             "pairs_compact": 0,
             "pairs_cutover": 0,
@@ -239,7 +251,7 @@ class BulkCSRKernel:
         self._parent = np.zeros(n, dtype=np.int32)
         self._firstpos = np.zeros(n, dtype=np.int64)
         self._vban = np.full(n, UNREACHED, dtype=np.int64)
-        self._eban = np.full(max(self.m, 1), UNREACHED, dtype=np.int64)
+        self._eban = np.full(max(self.eid_cap, 1), UNREACHED, dtype=np.int64)
         self._gen = 0
         self._ban_gen = 0
         self._mp_visit = None
@@ -337,7 +349,7 @@ class BulkCSRKernel:
                     )
                 return None
             ck = CKernel(
-                lib, self.n, self.m, self._indptr, self._nbr, self._arc_eid
+                lib, self.n, self.eid_cap, self._indptr, self._nbr, self._arc_eid
             )
             self._ck = ck
         return ck
@@ -622,6 +634,10 @@ class BulkCSRKernel:
             threads = plan_c_threads(len(queries))
             if threads > 1:
                 self.dispatch_stats["pairs_c_mt"] += len(queries)
+                # Interleaved split: thread t serves queries t, t+T, ...
+                per = self.dispatch_stats["pairs_c_mt_threads"]
+                for t in range(threads):
+                    per[t] = per.get(t, 0) + len(range(t, len(queries), threads))
             else:
                 self.dispatch_stats["pairs_c"] += len(queries)
             return ck.multi_pair_dists(queries, threads=threads)
@@ -689,7 +705,7 @@ class BulkCSRKernel:
         """
         C = len(queries)
         n = self.n
-        m = max(self.m, 1)
+        m = max(self.eid_cap, 1)  # per-query eid stride, not edge count
         nbr = self._nbr
         arc_eid = self._arc_eid
         indptr = self._indptr
@@ -935,7 +951,7 @@ class BulkCSRKernel:
         """
         C = len(queries)
         n = self.n
-        m = max(self.m, 1)
+        m = max(self.eid_cap, 1)  # per-query eid stride, not edge count
         nbr = self._nbr
         arc_eid = self._arc_eid
         indptr = self._indptr

@@ -582,7 +582,9 @@ class PerturbedShortestPaths:
         # Edge id i is the i-th edge in sorted order (CSRGraph contract),
         # so the weight table lines up with the PRNG draw order.
         big = self._big
-        self._w_eid: List[int] = [0] * csr.m
+        # Sized by eid_cap, not m: on a patched (delta) snapshot edge
+        # ids are sparse in [0, eid_cap) — see repro.core.csr.
+        self._w_eid: List[int] = [0] * csr.eid_cap
         for e, i in csr.edge_index.items():
             self._w_eid[i] = big + self._r[e]
         n = graph.n
@@ -955,11 +957,12 @@ class PythonDistanceOracle:
     engine-comparison benchmarks measure a faithful before/after.
     """
 
-    __slots__ = ("graph", "_adj", "_stamp", "_mark", "_dist", "_queue")
+    __slots__ = ("graph", "_adj", "_adj_version", "_stamp", "_mark", "_dist", "_queue")
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
         self._adj = graph.adjacency()
+        self._adj_version = graph.version
         n = graph.n
         self._stamp = 0
         self._mark = [0] * n
@@ -1024,6 +1027,11 @@ class PythonDistanceOracle:
         stamp = self._stamp
         if bv is not None and source in bv:
             return None
+        # Like the engines, follow graph mutation (the adjacency view is
+        # an immutable per-version snapshot; deltas replace it).
+        if self._adj_version != self.graph.version:
+            self._adj = self.graph.adjacency()
+            self._adj_version = self.graph.version
         adj = self._adj
         mark = self._mark
         dist = self._dist

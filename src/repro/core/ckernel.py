@@ -41,8 +41,8 @@ Environment knobs (see ``docs/tuning.md``):
     ``~/.cache/repro-parter15``, falling back to the temp dir).
 ``REPRO_C_THREADS``
     Worker threads for one :meth:`CKernel.multi_pair_dists` batch
-    (default ``1``; ``auto``/``0`` = one per CPU).  The C side
-    partitions the query range across a pthread pool with disjoint
+    (default ``1``; ``auto``/``0`` = one per CPU).  The C side deals
+    queries round-robin across a pthread pool with disjoint
     per-thread scratch — results stay bit-identical to the serial
     entry point — and ctypes releases the GIL for the call, so the
     threads run truly in parallel.
@@ -69,7 +69,7 @@ import numpy as np
 
 #: ABI tag the wrapper expects; must match the ABI macro in
 #: ``_ckernel.c`` (a mismatched cached build is rejected and rebuilt).
-ABI = 2
+ABI = 3
 
 #: Default ``REPRO_C_MT_MIN``: below this many queries per batch the
 #: serial C entry point wins (thread spawn ~tens of µs vs ~1 µs/pair).
@@ -463,11 +463,13 @@ class CKernel:
         needed because the per-query fixed cost is a function call.
 
         With ``threads > 1`` the batch runs on the threaded C entry
-        point (``repro_multi_pair_dists_mt``): contiguous query slices
-        on a pthread pool, each against its own scratch slab, with the
-        GIL released for the duration of the call.  Results are
-        bit-identical for every thread count (callers usually let
-        :func:`plan_c_threads` pick).
+        point (``repro_multi_pair_dists_mt``): interleaved (strided)
+        query assignment — thread ``t`` serves queries ``t``,
+        ``t + threads``, ... — on a pthread pool, each thread against
+        its own scratch slab, with the GIL released for the duration
+        of the call.  Scratch generations are keyed on the *global*
+        query index, so results are bit-identical for every thread
+        count (callers usually let :func:`plan_c_threads` pick).
         """
         nq = len(queries)
         if nq == 0:

@@ -65,6 +65,7 @@ all share a single pool.
 
 from __future__ import annotations
 
+import os
 from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -75,6 +76,22 @@ from repro.core.graph import Edge, Graph
 UNREACHED = -1
 
 
+def delta_max_overlay() -> int:
+    """Churn budget for patched snapshots (``REPRO_DELTA_MAX_OVERLAY``).
+
+    A delta whose cumulative overlay churn (net edge adds + removes
+    since the last *fresh* flatten) stays within this budget is applied
+    as an incremental :class:`DeltaCSRGraph` patch over the parent
+    snapshot; past it, :func:`csr_of` re-flattens from scratch — deep
+    overlay chains stop paying for themselves once most rows have been
+    rewritten anyway.
+    """
+    try:
+        return int(os.environ.get("REPRO_DELTA_MAX_OVERLAY", "64"))
+    except ValueError:
+        return 64
+
+
 def csr_of(graph: Graph) -> "CSRGraph":
     """The (cached) CSR snapshot of ``graph``.
 
@@ -83,10 +100,35 @@ def csr_of(graph: Graph) -> "CSRGraph":
     invalidates the cache and the next call rebuilds.  All kernel
     consumers go through this function so that one graph has one shared
     scratch pool.
+
+    When the mutation was a :meth:`~repro.core.graph.Graph.apply_delta`
+    batch whose net churn fits ``REPRO_DELTA_MAX_OVERLAY``, the rebuild
+    is *incremental*: a :class:`DeltaCSRGraph` patches the previous
+    snapshot (stable edge ids, shared per-vertex views) and the shared
+    snapshot cache migrates every entry whose survival the delta layer
+    can certify (:mod:`repro.core.delta`) instead of dropping the whole
+    table.
     """
     cached = graph._csr_cache
     if cached is not None and cached.version == graph.version:
         return cached
+    record = graph._delta
+    graph._delta = None
+    if (
+        record is not None
+        and cached is not None
+        and record.parent is cached
+        and record.child_version == graph.version
+        and cached.overlay_churn + record.churn <= delta_max_overlay()
+    ):
+        snapshot = DeltaCSRGraph(graph, cached, record.adds, record.removes)
+        graph._csr_cache = snapshot
+        # Lineage-aware cache migration (lazy import: delta.py reads
+        # engine value shapes and would cycle at module import time).
+        from repro.core.delta import migrate_cache
+
+        migrate_cache(cached, snapshot, record.adds, record.removes)
+        return snapshot
     snapshot = CSRGraph(graph)
     graph._csr_cache = snapshot
     return snapshot
@@ -114,6 +156,17 @@ class CSRGraph:
         "__weakref__",
         "n",
         "m",
+        # Edge-id address space bound: every edge id is < eid_cap.  On a
+        # fresh or adopted snapshot eid_cap == m; on a patched snapshot
+        # (DeltaCSRGraph) deleted ids leave holes and appended ids may
+        # push past m, so anything sized or strided "per edge id" (the
+        # eban scratch here, the numpy/C ban slabs in bulk/ckernel, the
+        # perturbed weight table) must use eid_cap, not m.
+        "eid_cap",
+        # Cumulative net churn absorbed since the last fresh flatten
+        # (0 on fresh/adopted snapshots); csr_of re-flattens once
+        # overlay_churn would exceed REPRO_DELTA_MAX_OVERLAY.
+        "overlay_churn",
         "version",
         "indptr",
         "nbr",
@@ -148,6 +201,8 @@ class CSRGraph:
             e: i for i, e in enumerate(sorted(graph.edges()))
         }
         self.m = len(self.edge_index)
+        self.eid_cap = self.m
+        self.overlay_churn = 0
         indptr = [0]
         nbr: List[int] = []
         arc_eid: List[int] = []
@@ -214,6 +269,8 @@ class CSRGraph:
         self.version = graph.version
         self.edge_index = {e: i for i, e in enumerate(sorted_edges)}
         self.m = len(self.edge_index)
+        self.eid_cap = self.m
+        self.overlay_churn = 0
         self.indptr = indptr
         self.nbr = nbr
         self.arc_eid = arc_eid
@@ -238,7 +295,7 @@ class CSRGraph:
         self._parent = [0] * n
         self._queue = [0] * n
         self._vban = [UNREACHED] * n
-        self._eban = [UNREACHED] * self.m
+        self._eban = [UNREACHED] * self.eid_cap
         self._gen = 0
         self._ban_gen = 0
         self._count = 0
@@ -673,3 +730,102 @@ class CSRGraph:
         """
         bidir = self.bidir_distance
         return [bidir(s, t, ban) for s, t in pairs]
+
+
+class DeltaCSRGraph(CSRGraph):
+    """An incremental snapshot: the parent's views plus an edge overlay.
+
+    Built by :func:`csr_of` when the graph mutation was a small
+    :meth:`~repro.core.graph.Graph.apply_delta` batch.  Compared to a
+    fresh :class:`CSRGraph` build it
+
+    * **keeps edge ids stable**: ids are inherited from the parent;
+      deleted ids go to a free pool, inserted edges reuse the smallest
+      freed id (else append at ``eid_cap``).  Surviving snapshot-cache
+      entries keyed on edge ids therefore stay addressable — the whole
+      point of the migration in :mod:`repro.core.delta`.  Traversal
+      results are still bit-identical to a fresh build: the canonical
+      lex search depends only on sorted adjacency order, never on edge
+      id *values*.
+    * **shares per-vertex iteration views**: only vertices incident to
+      a delta edge get new ``rows``/``arcs`` tuples; everything else
+      aliases the parent's (immutable) tuples.
+    * **re-flattens lazily**: the flat ``indptr``/``nbr``/``arc_eid``
+      vectors — needed only by the numpy/C bulk consumers and the
+      artifact writer — are materialized on first attribute access, so
+      a pure-python query stream after a delta never pays for them.
+    """
+
+    __slots__ = ("parent", "_free_eids")
+
+    def __init__(
+        self,
+        graph: Graph,
+        parent: CSRGraph,
+        adds: Iterable[Edge],
+        removes: Iterable[Edge],
+    ) -> None:
+        adds = sorted(adds)
+        removes = sorted(removes)
+        self.n = parent.n
+        self.version = graph.version
+        self.parent = parent
+        edge_index = dict(parent.edge_index)
+        freed = {edge_index.pop(e) for e in removes}
+        free = sorted(set(getattr(parent, "_free_eids", ())) | freed)
+        cap = parent.eid_cap
+        for e in adds:
+            if free:
+                edge_index[e] = free.pop(0)
+            else:
+                edge_index[e] = cap
+                cap += 1
+        self.edge_index = edge_index
+        self.m = len(edge_index)
+        self.eid_cap = cap
+        self._free_eids = tuple(free)
+        self.overlay_churn = parent.overlay_churn + len(adds) + len(removes)
+        # Per-vertex overlay: rebuild only the touched rows.
+        rows = list(parent.rows)
+        arcs = list(parent.arcs)
+        drop: Dict[int, set] = {}
+        gain: Dict[int, List[Tuple[int, int]]] = {}
+        for (u, v) in removes:
+            drop.setdefault(u, set()).add(v)
+            drop.setdefault(v, set()).add(u)
+        for (u, v) in adds:
+            i = edge_index[(u, v)]
+            gain.setdefault(u, []).append((v, i))
+            gain.setdefault(v, []).append((u, i))
+        for u in set(drop) | set(gain):
+            gone = drop.get(u, ())
+            row = [(w, e) for (w, e) in parent.arcs[u] if w not in gone]
+            row.extend(gain.get(u, ()))
+            row.sort()
+            arcs[u] = tuple(row)
+            rows[u] = tuple(w for (w, _) in row)
+        self.rows = rows
+        self.arcs = arcs
+        self._init_scratch()
+
+    def __getattr__(self, name: str):
+        # The flat vectors are the only lazily-set slots: materialize
+        # them on first access (anything else missing is a real error).
+        if name in ("indptr", "nbr", "arc_eid"):
+            self._flatten()
+            return CSRGraph.__dict__[name].__get__(self)
+        raise AttributeError(name)
+
+    def _flatten(self) -> None:
+        """Materialize the flat CSR vectors from the iteration views."""
+        indptr = [0]
+        nbr: List[int] = []
+        arc_eid: List[int] = []
+        for u in range(self.n):
+            for w, e in self.arcs[u]:
+                nbr.append(w)
+                arc_eid.append(e)
+            indptr.append(len(nbr))
+        self.indptr = array("q", indptr)
+        self.nbr = array("q", nbr)
+        self.arc_eid = array("q", arc_eid)

@@ -52,6 +52,46 @@ def normalize_edges(edges: Iterable[Sequence[int]]) -> FrozenSet[Edge]:
     return frozenset(normalize_edge(e[0], e[1]) for e in edges)
 
 
+class DeltaRecord:
+    """Net edge delta of a graph relative to its last CSR snapshot.
+
+    :meth:`Graph.apply_delta` stores one of these so the snapshot layer
+    (:func:`repro.core.csr.csr_of`) can build an *incremental* child
+    snapshot from the parent instead of re-flattening the whole graph.
+    The record tracks the **net** delta: an edge added and then removed
+    (or vice versa) cancels out of both sets.  Any non-delta mutation
+    (plain ``add_edge``/``add_vertex``) bumps the version without
+    touching the record, which then fails the ``child_version`` check
+    and is ignored — correctness never depends on the record existing.
+    """
+
+    __slots__ = ("parent", "adds", "removes", "child_version")
+
+    def __init__(self, parent) -> None:
+        self.parent = parent  # the CSR snapshot the delta is relative to
+        self.adds: Set[Edge] = set()
+        self.removes: Set[Edge] = set()
+        self.child_version = -1
+
+    def merge(self, adds: Iterable[Edge], removes: Iterable[Edge]) -> None:
+        """Fold one more delta into the net record (with cancellation)."""
+        for e in removes:
+            if e in self.adds:
+                self.adds.discard(e)
+            else:
+                self.removes.add(e)
+        for e in adds:
+            if e in self.removes:
+                self.removes.discard(e)
+            else:
+                self.adds.add(e)
+
+    @property
+    def churn(self) -> int:
+        """Net number of edge insertions + deletions since the parent."""
+        return len(self.adds) + len(self.removes)
+
+
 class Graph:
     """A simple undirected, unweighted graph on vertices ``0..n-1``.
 
@@ -72,7 +112,16 @@ class Graph:
     re-sorts lazily.
     """
 
-    __slots__ = ("_adj", "_edges", "_sorted", "_version", "_adj_view", "_csr_cache")
+    __slots__ = (
+        "_adj",
+        "_edges",
+        "_sorted",
+        "_version",
+        "_adj_view",
+        "_csr_cache",
+        "_delta",
+        "_payload_memo",
+    )
 
     def __init__(self, n: int = 0, edges: Iterable[Sequence[int]] = ()) -> None:
         if n < 0:
@@ -83,6 +132,8 @@ class Graph:
         self._version = 0
         self._adj_view: Optional[Tuple[int, Tuple[Tuple[int, ...], ...]]] = None
         self._csr_cache = None  # versioned CSR snapshot (see repro.core.csr)
+        self._delta = None  # pending DeltaRecord (see apply_delta / csr_of)
+        self._payload_memo = None  # pickled shard payload (repro.core.parallel)
         for e in edges:
             self.add_edge(e[0], e[1])
 
@@ -120,6 +171,93 @@ class Graph:
     def add_path(self, vertices: Sequence[int]) -> List[Edge]:
         """Add edges forming the path ``vertices[0] - ... - vertices[-1]``."""
         return [self.add_edge(a, b) for a, b in zip(vertices, vertices[1:])]
+
+    def remove_edge(self, u: int, v: int) -> Edge:
+        """Remove the undirected edge ``{u, v}``; it must exist.
+
+        Returns the normalized edge tuple.  Removal preserves adjacency
+        sort order, so a finalized graph stays finalized.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        e = normalize_edge(u, v)
+        if e not in self._edges:
+            raise GraphError(f"edge {e} not present in graph")
+        self._edges.discard(e)
+        self._adj[u].remove(v)
+        self._adj[v].remove(u)
+        self._version += 1
+        return e
+
+    def apply_delta(
+        self,
+        adds: Iterable[Sequence[int]] = (),
+        removes: Iterable[Sequence[int]] = (),
+    ) -> Tuple[Tuple[Edge, ...], Tuple[Edge, ...]]:
+        """Apply a batch of edge insertions/deletions as one *delta*.
+
+        Unlike loose ``add_edge``/``remove_edge`` calls, a delta is
+        validated atomically (every add must be absent, every remove
+        present, no edge on both sides — anything wrong raises
+        :class:`~repro.core.errors.GraphError` before the graph is
+        touched) and leaves a :class:`DeltaRecord` behind so the next
+        :func:`repro.core.csr.csr_of` call can patch the previous CSR
+        snapshot incrementally and migrate surviving cache entries
+        (see ``docs/incremental.md``) instead of rebuilding from
+        scratch.  Consecutive deltas merge into one net record with
+        add/remove cancellation.
+
+        Returns the normalized ``(added, removed)`` edge tuples, each
+        sorted.
+        """
+        add_set = normalize_edges(adds)
+        rem_set = normalize_edges(removes)
+        both = add_set & rem_set
+        if both:
+            raise GraphError(
+                f"edges both added and removed in one delta: {sorted(both)[:5]}"
+            )
+        for (u, v) in add_set:
+            self._check_vertex(u)
+            self._check_vertex(v)
+            if (u, v) in self._edges:
+                raise GraphError(f"delta add of existing edge ({u}, {v})")
+        missing = rem_set - self._edges
+        if missing:
+            raise GraphError(f"delta removes absent edges: {sorted(missing)[:5]}")
+        if not add_set and not rem_set:
+            return ((), ())
+        # The record patches from the snapshot that matches the
+        # *pre-delta* graph: either the live cached snapshot, or the
+        # parent of a still-pending (unconsumed) record.
+        record = self._delta
+        if record is not None and record.child_version != self._version:
+            record = None  # non-delta mutation intervened; record is stale
+        if record is None:
+            cached = self._csr_cache
+            parent = (
+                cached
+                if cached is not None
+                and getattr(cached, "version", None) == self._version
+                else None
+            )
+            record = DeltaRecord(parent) if parent is not None else None
+        for (u, v) in rem_set:
+            self.remove_edge(u, v)
+        for (u, v) in add_set:
+            self.add_edge(u, v)
+        if record is not None:
+            record.merge(add_set, rem_set)
+            record.child_version = self._version
+            self._delta = record if record.churn else None
+            if record.churn == 0 and record.parent is not None:
+                # The net delta cancelled out: the parent snapshot is
+                # the current graph again, just under a newer version.
+                record.parent.version = self._version
+                self._csr_cache = record.parent
+        else:
+            self._delta = None
+        return (tuple(sorted(add_set)), tuple(sorted(rem_set)))
 
     def finalize(self) -> "Graph":
         """Sort adjacency lists in place (idempotent); returns ``self``."""

@@ -88,6 +88,9 @@ class SnapshotCache:
         "spec_hits",
         "spec_misses",
         "spec_discards",
+        "delta_survived",
+        "delta_evicted",
+        "delta_rechecked",
         "_tables",
         "_weights",
     )
@@ -102,6 +105,9 @@ class SnapshotCache:
         self.spec_hits = 0
         self.spec_misses = 0
         self.spec_discards = 0
+        self.delta_survived = 0
+        self.delta_evicted = 0
+        self.delta_rechecked = 0
         self._tables: "weakref.WeakKeyDictionary[Any, Dict[str, dict]]" = (
             weakref.WeakKeyDictionary()
         )
@@ -215,6 +221,64 @@ class SnapshotCache:
                 self.evictions += len(ns)
                 ns.clear()
 
+    def migrate(self, parent: Any, child: Any, decide) -> Dict[str, int]:
+        """Move surviving entries from ``parent``'s table to ``child``'s.
+
+        The lineage-aware invalidation primitive behind incremental
+        topology updates (see ``docs/incremental.md``): instead of
+        letting a graph mutation orphan the whole parent table, the
+        delta layer (:mod:`repro.core.delta`) calls this with a
+        ``decide(namespace, key, value)`` policy returning
+
+        * ``None`` — evict the entry (counted in ``delta_evicted``);
+        * ``(key, value)`` — keep it under the (possibly rewritten)
+          key/value in the child's table (``delta_survived``);
+        * ``(key, value, True)`` — same, but the survival required a
+          recomputation (additionally counted in ``delta_rechecked``).
+
+        The policy runs *outside* the lock (it may traverse the child
+        snapshot); the table swap itself is atomic per namespace.
+        Returns the per-call counter deltas.
+        """
+        with self._lock:
+            table = self._tables.pop(parent, None)
+            self._weights.pop(parent, None)
+        survived = evicted = rechecked = 0
+        migrated: Dict[str, dict] = {}
+        for namespace, ns in (table or {}).items():
+            out: dict = {}
+            for key, value in ns.items():
+                verdict = decide(namespace, key, value)
+                if verdict is None:
+                    evicted += 1
+                    continue
+                out[verdict[0]] = verdict[1]
+                survived += 1
+                if len(verdict) > 2 and verdict[2]:
+                    rechecked += 1
+            if out:
+                migrated[namespace] = out
+        with self._lock:
+            child_table = self._tables.get(child)
+            if child_table is None:
+                child_table = {}
+                self._tables[child] = child_table
+            for namespace, out in migrated.items():
+                ns = child_table.get(namespace)
+                if ns is None:
+                    child_table[namespace] = out
+                else:
+                    for key, value in out.items():
+                        ns.setdefault(key, value)
+            self.delta_survived += survived
+            self.delta_evicted += evicted
+            self.delta_rechecked += rechecked
+        return {
+            "delta_survived": survived,
+            "delta_evicted": evicted,
+            "delta_rechecked": rechecked,
+        }
+
     def add_stats(self, **deltas: int) -> None:
         """Atomically add counter deltas by name (e.g. ``hits=42``).
 
@@ -245,6 +309,9 @@ class SnapshotCache:
             "spec_hits": self.spec_hits,
             "spec_misses": self.spec_misses,
             "spec_discards": self.spec_discards,
+            "delta_survived": self.delta_survived,
+            "delta_evicted": self.delta_evicted,
+            "delta_rechecked": self.delta_rechecked,
             "snapshots": len(self._tables),
             "entries": sum(
                 len(ns) for table in self._tables.values() for ns in table.values()
@@ -271,6 +338,9 @@ class SnapshotCache:
             self.spec_hits = 0
             self.spec_misses = 0
             self.spec_discards = 0
+            self.delta_survived = 0
+            self.delta_evicted = 0
+            self.delta_rechecked = 0
 
 
 #: The process-wide instance every oracle/engine uses by default.

@@ -154,14 +154,16 @@ def _mbfs_build_one(
 def _mbfs_shard(payload, chunk):
     """Pool task: per-source structures for one chunk of sources.
 
-    ``payload`` is ``(n, edge_list, builder, max_faults, kwargs)``; the
-    graph is rebuilt locally (never pickled — and the rebuild gives the
-    worker a private snapshot cache and kernel scratch).  Returns the
+    ``payload`` is ``((n, edge_list), builder, max_faults, kwargs)``
+    — the graph fragment arrives pre-pickled
+    (:func:`repro.core.parallel.graph_payload`) and the graph is
+    rebuilt locally (never pickled — and the rebuild gives the worker
+    a private snapshot cache and kernel scratch).  Returns the
     compact per-source facts the deterministic merge needs —
     ``(source, sorted edges, size, max_faults)`` — plus this chunk's
     worker-side cache/dispatch counters.
     """
-    n, edge_list, builder, max_faults, kwargs = payload
+    (n, edge_list), builder, max_faults, kwargs = payload
     graph = Graph(n, edge_list)
     parallel.worker_counters_begin()
     results = []
@@ -222,7 +224,7 @@ def build_ft_mbfs(
         and (builder is None or getattr(builder, "__name__", "<lambda>") != "<lambda>")
         and _shardable_kwargs(kwargs)
     ):
-        payload = (graph.n, sorted(graph.edges()), builder, max_faults, kwargs)
+        payload = (parallel.graph_payload(graph), builder, max_faults, kwargs)
         shards = parallel.run_sharded(
             _mbfs_shard, sources, payload=payload, jobs=njobs, label=name
         )

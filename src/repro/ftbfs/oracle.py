@@ -10,6 +10,7 @@ mode and is the subject of experiment E10.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.core.canonical import DistanceOracle, make_engine
@@ -67,6 +68,51 @@ class FTQueryOracle:
     def max_faults(self) -> int:
         """The fault budget ``f`` of the underlying structure."""
         return self.structure.max_faults
+
+    def apply_delta(
+        self,
+        adds: Iterable[Sequence[int]] = (),
+        removes: Iterable[Sequence[int]] = (),
+    ) -> Tuple[Tuple[Edge, ...], Tuple[Edge, ...]]:
+        """Absorb a topology delta into the served structure ``H``.
+
+        The long-lived serving path (``repro serve``'s ``delta`` op):
+        edges are added to / removed from the *served subgraph* in
+        place via :meth:`~repro.core.graph.Graph.apply_delta`, so the
+        next query sees an incrementally patched CSR snapshot
+        (:class:`~repro.core.csr.DeltaCSRGraph`) and every cached
+        answer the survival certificates of :mod:`repro.core.delta`
+        admit — preseeded caches included — carries over instead of
+        being dropped.  ``self.structure`` is replaced (it is frozen)
+        with the updated edge set; budget, sources and builder
+        metadata are unchanged.  Added edges are mirrored into the
+        structure's host graph when absent, preserving the ``H ⊆ G``
+        invariant that :meth:`~repro.ftbfs.structures.FTStructure
+        .subgraph` and re-saving rely on (removals only shrink ``H`` —
+        the host keeps the edge).  Post-delta answers are bit-identical
+        to a fresh oracle over the mutated edge set.
+
+        Returns the normalized ``(added, removed)`` edge tuples.
+        Refused for the ``perturbed`` engine, which freezes its CSR
+        snapshot at construction and would silently keep answering
+        from the pre-delta topology.
+        """
+        if getattr(self._paths, "name", "") == "perturbed":
+            raise GraphError(
+                "the perturbed engine snapshots its graph at construction "
+                "and cannot absorb deltas; rebuild the oracle instead"
+            )
+        added, removed = self._h.apply_delta(adds=adds, removes=removes)
+        host = self.structure.graph
+        if host is not self._h:
+            missing = [e for e in added if not host.has_edge(*e)]
+            if missing:
+                host.apply_delta(adds=missing)
+        edges = (set(self.structure.edges) | set(added)) - set(removed)
+        self.structure = dataclasses.replace(
+            self.structure, edges=frozenset(edges)
+        )
+        return added, removed
 
     def _check(self, source: int, faults: Sequence[Sequence[int]]) -> None:
         if source not in self.structure.sources:

@@ -34,13 +34,15 @@ from repro.ftbfs.structures import FTStructure
 def _sensitivity_shard(payload, chunk):
     """Pool task: replacement-distance vectors for a chunk of tree edges.
 
-    ``payload`` is ``(n, edge_list, source, engine_name)``; the worker
+    ``payload`` is ``((n, edge_list), source, engine_name)`` — the
+    graph fragment arrives pre-pickled
+    (:func:`repro.core.parallel.graph_payload`); the worker
     rebuilds the graph, selects the same oracle family the serial path
     would (the engine's declared ``oracle_class``) and tabulates one
     full restricted BFS per fault edge.  Distance vectors are integer
     lists, so reassembly by edge index is trivially bit-identical.
     """
-    n, edge_list, source, engine_name = payload
+    (n, edge_list), source, engine_name = payload
     graph = Graph(n, edge_list)
     parallel.worker_counters_begin()
     engine = make_engine(graph, engine_name) if engine_name else make_engine(graph)
@@ -77,7 +79,7 @@ class SingleFaultDistanceOracle:
             # shard the fault edges across a process pool and zip the
             # returned vectors back in edge order (bit-identical to the
             # serial loop; see tests/test_parallel.py).
-            payload = (graph.n, sorted(graph.edges()), source, engine)
+            payload = (parallel.graph_payload(graph), source, engine)
             tables = parallel.run_sharded(
                 _sensitivity_shard,
                 fault_edges,

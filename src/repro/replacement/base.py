@@ -72,6 +72,105 @@ class SourceContext:
     # ------------------------------------------------------------------
     # convenience wrappers
     # ------------------------------------------------------------------
+    def absorb_delta(self, added=(), removed=()) -> dict:
+        """Re-sync the context after ``self.graph.apply_delta``.
+
+        The caller has already applied the delta to the graph (and
+        passes the normalized ``(added, removed)`` edge lists that
+        :meth:`~repro.core.graph.Graph.apply_delta` returned); this
+        repairs the per-source state instead of discarding it:
+
+        * **Damage estimate** — seeded from the delta frontier against
+          the *old* tree: each removed tree arc dirties the subtree
+          below its child endpoint, each inserted depth-gap edge the
+          subtree below its deeper endpoint (same O(1) subtree-size
+          rejection idea as the tree-repair executor strategy of
+          :mod:`repro.core.query_batch`).  Edges the survival
+          certificates of :mod:`repro.core.delta` prove inert (non-tree
+          deletions, same-depth insertions) contribute nothing.
+        * **mode ``"noop"``** — zero damage: the stored search result
+          is provably identical to a fresh one, so the tree object
+          (π cache included) is kept as-is and only the per-fault
+          vectors are pruned by certificate.
+        * **mode ``"repair"``** — damage at most
+          ``REPRO_DELTA_MAX_DAMAGE`` (fraction of ``n``): the canonical
+          tree is re-derived (one search — typically a snapshot-cache
+          hit via the migration certificates) and each cached
+          ``fault_distances`` vector survives iff its certificate
+          holds, saving one full restricted BFS per survivor.
+        * **mode ``"rebuild"``** — past the threshold (or an insertion
+          reaches an unreached vertex, where certificates cannot
+          compose): fresh tree, per-fault table cleared.
+
+        Returns ``{"mode", "damage", "fault_kept", "fault_dropped"}``.
+        Results after any mode are bit-identical to building a fresh
+        context on the mutated graph (property-tested per engine).
+        """
+        from repro.core.delta import _vec_survives, delta_max_damage
+
+        old = self.tree
+        added = [normalize_edge(u, v) for u, v in added]
+        removed = [normalize_edge(u, v) for u, v in removed]
+        rebuild = False
+        roots: Set[int] = set()
+        for u, v in removed:
+            if old.parent(v) == u:
+                roots.add(v)
+            elif old.parent(u) == v:
+                roots.add(u)
+        for u, v in added:
+            ru, rv = old.reached(u), old.reached(v)
+            if not (ru and rv):
+                if ru or rv:
+                    # Reachability expansion: the new region's labels
+                    # cannot be derived from the old tree, and further
+                    # delta edges may compose through it.
+                    rebuild = True
+                continue
+            du, dv = old.depth(u), old.depth(v)
+            if du != dv:
+                roots.add(v if dv > du else u)
+        n = self.graph.n
+        damage = 1.0 if rebuild else (
+            sum(len(old.subtree(r)) for r in roots) / max(n, 1)
+        )
+        if rebuild or damage > delta_max_damage():
+            self.tree = BFSTree(self.graph, self.source, self.engine)
+            dropped = len(self._fault_dist)
+            self._fault_dist.clear()
+            return {
+                "mode": "rebuild",
+                "damage": damage,
+                "fault_kept": 0,
+                "fault_dropped": dropped,
+            }
+        mode = "noop"
+        if roots:
+            mode = "repair"
+            self.tree = BFSTree(self.graph, self.source, self.engine)
+        removed_pairs = [(e, -1) for e in removed]
+        kept: dict = {}
+        dropped = 0
+        for e, vec in self._fault_dist.items():
+            if not self.graph.has_edge(*e):
+                dropped += 1  # the fault edge itself was removed
+                continue
+            # The entry bans e; a delta edge equal to e cannot occur
+            # (removals of e are caught above, adds of an existing
+            # edge are rejected by apply_delta), so empty ban sets
+            # are exact here.
+            if _vec_survives(vec, frozenset(), frozenset(), added, removed_pairs):
+                kept[e] = vec
+            else:
+                dropped += 1
+        self._fault_dist = kept
+        return {
+            "mode": mode,
+            "damage": damage,
+            "fault_kept": len(kept),
+            "fault_dropped": dropped,
+        }
+
     def pi(self, v: int) -> Path:
         """``π(s, v)``."""
         return self.tree.pi(v)

@@ -241,6 +241,7 @@ class QueryServer:
             "point": self._op_point,
             "batch": self._op_batch,
             "path": self._op_path,
+            "delta": self._op_delta,
             "stats": self._op_stats,
             "shutdown": self._op_shutdown,
         }
@@ -456,6 +457,44 @@ class QueryServer:
             path = self.oracle.path(source, target, faults)
         return {"hops": int(d), "vertices": list(path.vertices)}
 
+    def _op_delta(self, request: dict) -> dict:
+        """Absorb a topology update into the served structure in place.
+
+        ``{"op": "delta", "adds": [[u, v], ...], "removes": [[u, v],
+        ...]}`` — edges enter/leave the served subgraph without
+        restarting the server or dropping preseeded caches: the next
+        snapshot is patched incrementally
+        (:class:`~repro.core.csr.DeltaCSRGraph`) and cached answers
+        migrate under the survival certificates of
+        :mod:`repro.core.delta`.  The patch + migration run eagerly
+        (under the query lock, like any query) so the response can
+        report the migration counters; post-delta answers are
+        bit-identical to a freshly built server over the mutated edge
+        set.
+        """
+        from repro.core.csr import csr_of
+        from repro.core.snapshot_cache import shared_cache
+
+        adds = _parse_faults(request.get("adds"))
+        removes = _parse_faults(request.get("removes"))
+        with self._qlock:
+            before = shared_cache().stats()
+            added, removed = self.oracle.apply_delta(adds=adds, removes=removes)
+            h = self.oracle._h
+            csr_of(h)  # build the patched snapshot + migrate caches now
+            after = shared_cache().stats()
+        return {
+            "added": [list(e) for e in added],
+            "removed": [list(e) for e in removed],
+            "n": h.n,
+            "m": h.m,
+            "structure_edges": self.oracle.structure.size,
+            "cache": {
+                key: after.get(key, 0) - before.get(key, 0)
+                for key in ("delta_survived", "delta_evicted", "delta_rechecked")
+            },
+        }
+
     def _op_stats(self, request: dict) -> dict:
         return {"stats": self.stats.snapshot()}
 
@@ -547,6 +586,22 @@ class ServeClient:
             "path", source=source, target=target, faults=[list(f) for f in faults]
         )
         return response["hops"], response["vertices"]
+
+    def delta(self, adds: Sequence = (), removes: Sequence = ()) -> dict:
+        """Apply a topology update to the served structure in place.
+
+        Returns the server's delta report: normalized ``added`` /
+        ``removed`` edge lists, the updated ``n`` / ``m`` /
+        ``structure_edges``, and the cache-migration counters
+        (``delta_survived`` / ``delta_evicted`` / ``delta_rechecked``).
+        """
+        response = self._checked(
+            "delta",
+            adds=[list(e) for e in adds],
+            removes=[list(e) for e in removes],
+        )
+        response.pop("ok")
+        return response
 
     def stats(self) -> dict:
         """The server's :class:`ServerStats` snapshot."""
