@@ -23,6 +23,7 @@ from typing import Iterable, List, Sequence
 from repro.analysis import format_table
 from repro.core.canonical import ENGINES
 from repro.core.snapshot_cache import shared_cache
+from repro.generators import erdos_renyi, tree_plus_chords
 
 
 def _results_dir() -> pathlib.Path:
@@ -41,6 +42,73 @@ def _results_dir() -> pathlib.Path:
 
 
 RESULTS_DIR = _results_dir()
+
+
+#: Where the checked-in topology corpus lives (``topo:`` workloads).
+TOPOLOGIES_DIR = pathlib.Path(__file__).parent / "topologies"
+
+
+def parse_workload(item: str):
+    """One benchmark workload spec → a ``(kind, n, arg)`` triple.
+
+    The one graph-source grammar every benchmark shares (E16's
+    ``REPRO_E16_SIZES``, E18's ``REPRO_E18_SIZES``, E19's corpus
+    entries):
+
+    * ``chords:<n>:<chords>`` — random tree plus chords;
+    * ``er:<n>:<p>`` — Erdős–Rényi;
+    * ``<n>:<p>`` — bare ER shorthand (E18's legacy form);
+    * ``topo:<ref>`` — a corpus topology: a file under
+      ``benchmarks/topologies/`` (or any path) or a generator spec
+      like ``fattree:k=4`` (see :mod:`repro.core.topology`); ``n`` is
+      ``None`` until the graph is built.
+    """
+    parts = item.split(":")
+    if parts[0] == "topo":
+        ref = ":".join(parts[1:])
+        if not ref:
+            raise ValueError(f"workload {item!r} names no topology")
+        return ("topo", None, ref)
+    if len(parts) == 2:  # bare "n:p" ER shorthand
+        return ("er", int(parts[0]), float(parts[1]))
+    kind, n, arg = parts[:3]
+    if kind == "chords":
+        return ("chords", int(n), int(float(arg)))
+    if kind == "er":
+        return ("er", int(n), float(arg))
+    raise ValueError(f"unknown workload kind {kind!r} in {item!r}")
+
+
+def parse_workloads(env_var: str, default: str) -> List[tuple]:
+    """The workload ladder of one benchmark (``env_var`` overrides)."""
+    spec = os.environ.get(env_var, default)
+    return [parse_workload(item.strip()) for item in spec.split(",") if item.strip()]
+
+
+def workload_graph(kind: str, n, arg, seed: int = 20):
+    """Materialize one :func:`parse_workload` triple into a graph.
+
+    ``topo`` workloads resolve relative file references against
+    :data:`TOPOLOGIES_DIR` so specs like ``topo:abilene.graphml`` work
+    from any working directory; ``seed`` only affects the random
+    families.
+    """
+    if kind == "topo":
+        from repro.core.topology import load_topology
+
+        return load_topology(arg, base_dir=TOPOLOGIES_DIR).graph
+    if kind == "chords":
+        return tree_plus_chords(n, int(arg), seed=seed)
+    if kind == "er":
+        return erdos_renyi(n, arg, seed=seed)
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+def workload_label(kind: str, n, arg) -> str:
+    """Human-readable workload label for benchmark tables."""
+    if kind == "topo":
+        return f"topo {arg}"
+    return f"{kind} n={n}"
 
 
 def jobs_axis() -> List[int]:

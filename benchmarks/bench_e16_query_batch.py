@@ -96,10 +96,19 @@ from repro.core.ckernel import c_kernel_available
 from repro.core.snapshot_cache import shared_cache
 from repro.ftbfs.cons2ftbfs import build_cons2ftbfs, feasibility_probes
 from repro.ftbfs.generic import build_ft_mbfs
-from repro.generators import erdos_renyi, tree_plus_chords
 from repro.replacement.base import SourceContext
 
-from _common import RESULTS_DIR, emit, emit_json, jobs_axis, scaling_floor, table
+from _common import (
+    RESULTS_DIR,
+    emit,
+    emit_json,
+    jobs_axis,
+    parse_workloads,
+    scaling_floor,
+    table,
+    workload_graph,
+    workload_label,
+)
 
 BATCH_ENGINE = "lex-bulk"
 C_ENGINE = "lex-c"
@@ -120,22 +129,17 @@ def _c_kernel(mode):
 
 
 def _sizes():
-    spec = os.environ.get(
-        "REPRO_E16_SIZES", "chords:1000:300,er:1000:0.008"
-    )
-    out = []
-    for item in spec.split(","):
-        kind, n, arg = item.split(":")
-        out.append((kind, int(n), float(arg)))
-    return out
+    """The workload ladder, via the shared benchmark grammar.
+
+    ``REPRO_E16_SIZES`` accepts every :func:`_common.parse_workload`
+    form, so topology-corpus graphs (``topo:abilene.graphml``,
+    ``topo:fattree:k=4``) plug into this benchmark unchanged.
+    """
+    return parse_workloads("REPRO_E16_SIZES", "chords:1000:300,er:1000:0.008")
 
 
 def _graph(kind, n, arg, seed=20):
-    if kind == "chords":
-        return tree_plus_chords(n, int(arg), seed=seed)
-    if kind == "er":
-        return erdos_renyi(n, arg, seed=seed)
-    raise ValueError(f"unknown E16 graph kind {kind!r}")
+    return workload_graph(kind, n, arg, seed=seed)
 
 
 def _rounds():
@@ -185,6 +189,7 @@ def test_e16_feasibility_workload(benchmark):
     entries = []
     for kind, n, arg in _sizes():
         g = _graph(kind, n, arg)
+        n = n if n is not None else g.n  # topo workloads resolve n late
         shared_cache().clear()
         ctx = SourceContext(g, 0, BATCH_ENGINE)
         # The C arm answers the *same* probes through the lex-c oracle
@@ -210,7 +215,7 @@ def test_e16_feasibility_workload(benchmark):
             best_s = min(best_s, _time_scalar(ctx, probes))
         speedup = best_s / best_b
         speedup_c = best_s / best_c if ctx_c is not None else None
-        label = f"{kind} n={n}"
+        label = workload_label(kind, n, arg)
         rows.append(
             [
                 label,
@@ -306,7 +311,12 @@ def test_e16_feasibility_workload(benchmark):
                 f"on every workload)"
             )
     kind, n, arg = _sizes()[0]
-    g_small = _graph(kind, min(n, 200), arg if kind == "er" else min(arg, 200))
+    if kind == "topo":  # corpus graphs are already mini-sized
+        g_small = _graph(kind, n, arg)
+    else:
+        g_small = _graph(
+            kind, min(n, 200), arg if kind == "er" else min(int(arg), 200)
+        )
     ctx_small = SourceContext(g_small, 0, BATCH_ENGINE)
     probes_small = feasibility_probes(ctx_small)
     benchmark.pedantic(
@@ -317,6 +327,7 @@ def test_e16_feasibility_workload(benchmark):
 def test_e16_batch_size_curve(benchmark):
     kind, n, arg = _sizes()[0]
     g = _graph(kind, n, arg)
+    n = n if n is not None else g.n
     shared_cache().clear()
     ctx = SourceContext(g, 0, BATCH_ENGINE)
     oracle = ctx.oracle
@@ -382,6 +393,7 @@ BUILD_ARMS = [
 def test_e16_end_to_end_build(benchmark):
     kind, n, arg = _sizes()[0]  # the headline workload (chords n=1000)
     g = _graph(kind, n, arg)
+    n = n if n is not None else g.n
     min_spec = float(os.environ.get("REPRO_BENCH_MIN_SPEC_BUILD", "0"))
     times = {}
     sizes = {}
@@ -443,7 +455,7 @@ def test_e16_end_to_end_build(benchmark):
         )
     emit(
         "E16-build",
-        f"end-to-end build_cons2ftbfs arms ({kind} n={n})",
+        f"end-to-end build_cons2ftbfs arms ({workload_label(kind, n, arg)})",
         table(
             [
                 "arm",
@@ -503,6 +515,7 @@ def test_e16_parallel_build(benchmark):
     """
     kind, n, arg = _sizes()[0]
     g = _graph(kind, n, arg)
+    n = n if n is not None else g.n
     sigma = max(2, int(os.environ.get("REPRO_E16_SOURCES", "4")))
     sources = list(range(min(sigma, g.n)))
     rounds = _rounds()
@@ -569,7 +582,8 @@ def test_e16_parallel_build(benchmark):
         rows,
     )
     body += (
-        f"\nσ={sigma}-source build_ft_mbfs(cons2) on {kind} n={n}, "
+        f"\nσ={sigma}-source build_ft_mbfs(cons2) on "
+        f"{workload_label(kind, n, arg)}, "
         f"\nbest of {rounds} rounds; structures bit-identical across "
         f"arms; host has {cores} core(s), floor={floor or 'off'}."
     )

@@ -58,9 +58,17 @@ import time
 from repro.core.canonical import DistanceOracle, make_engine
 from repro.core.graph import Graph
 from repro.core.snapshot_cache import shared_cache
-from repro.generators import erdos_renyi
 
-from _common import RESULTS_DIR, cold_cache, emit, emit_json, table
+from _common import (
+    RESULTS_DIR,
+    cold_cache,
+    emit,
+    emit_json,
+    parse_workloads,
+    table,
+    workload_graph,
+    workload_label,
+)
 
 VEC_SOURCES = 8
 PT_SOURCES = 2
@@ -69,12 +77,14 @@ COUNTERS = ("delta_survived", "delta_evicted", "delta_rechecked")
 
 
 def _sizes():
-    spec = os.environ.get("REPRO_E18_SIZES", "200:0.035,1000:0.008")
-    out = []
-    for item in spec.split(","):
-        n, p = item.split(":")[:2]
-        out.append((int(n), float(p)))
-    return out
+    """The churn ladder, via the shared benchmark workload grammar.
+
+    ``REPRO_E18_SIZES`` keeps its legacy bare ``n:p`` ER form and
+    additionally accepts every :func:`_common.parse_workload` spec, so
+    topology-corpus graphs (``topo:abilene.graphml``) can be churned
+    with the same script machinery.
+    """
+    return parse_workloads("REPRO_E18_SIZES", "200:0.035,1000:0.008")
 
 
 def _updates():
@@ -167,8 +177,9 @@ def test_e18_churn(benchmark):
     rows = []
     entries = []
     sizes = _sizes()
-    for n, p in sizes:
-        g0 = erdos_renyi(n, p, seed=18)
+    for kind, n, arg in sizes:
+        g0 = workload_graph(kind, n, arg, seed=18)
+        n = n if n is not None else g0.n  # topo workloads resolve n late
         base_edges = sorted(g0.edges())
         steps = _script(n, base_edges, k, seed=18)
 
@@ -186,8 +197,9 @@ def test_e18_churn(benchmark):
         speedup = best_reb / best_inc if best_inc else float("inf")
 
         entry = {
+            "workload": workload_label(kind, n, arg),
             "n": n,
-            "p": p,
+            "p": arg if kind == "er" else None,
             "m": len(base_edges),
             "updates": k,
             "incremental_s": best_inc,
@@ -253,8 +265,9 @@ def test_e18_churn(benchmark):
 
     # pytest-benchmark bookkeeping: one cheap representative round (the
     # real measurements above are manual best-of timings).
-    n0, p0 = sizes[0]
-    g_small = erdos_renyi(n0, p0, seed=18)
+    kind0, n0, arg0 = sizes[0]
+    g_small = workload_graph(kind0, n0, arg0, seed=18)
+    n0 = n0 if n0 is not None else g_small.n
     edges_small = sorted(g_small.edges())
     step_small = _script(n0, edges_small, 1, seed=18)
     benchmark.pedantic(

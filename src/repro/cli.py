@@ -57,6 +57,16 @@ Graph specifications (``--graph``)::
     torus:rows=5,cols=6         torus
     chords:n=60,chords=30,seed=1  random tree plus chords
     file:path.edges             edge-list file (see repro.core.io)
+    topo:abilene.graphml        named topology (repro.core.topology):
+    topo:fattree:k=4            a GraphML/edge-list file or a
+                                fat-tree/ring/torus generator spec
+
+``repro scenarios`` sweeps a failure-scenario blueprint (single-link,
+dual-link, SRLG and rolling-maintenance fault scripts over a real
+topology — see ``docs/scenarios.md``) against one or all canonical
+engines in fresh-build and/or ``apply_delta`` execution mode,
+asserting the differential bit-identity contract across every arm and
+reporting per-scenario recovery metrics.
 """
 
 from __future__ import annotations
@@ -134,6 +144,10 @@ def parse_graph_spec(spec: str) -> Graph:
     kind, _, argstr = spec.partition(":")
     if kind == "file":
         return load_graph(argstr)
+    if kind == "topo":
+        from repro.core.topology import load_topology
+
+        return load_topology(argstr).graph
     kwargs: Dict[str, float] = {}
     if argstr:
         for item in argstr.split(","):
@@ -571,6 +585,110 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Sweep a failure-scenario blueprint and report recovery metrics.
+
+    Expands the blueprint deterministically (see
+    :mod:`repro.core.scenario`), replays every scenario under the
+    requested engine(s) and execution mode(s), asserts the
+    differential contract — every arm's deterministic report body must
+    be bit-identical — and prints per-scenario replacement-path
+    stretch, affected/disconnected pair counts and structural delta
+    cost.  ``--engine all`` covers every engine this host can run
+    (``lex-c`` without a compiler is skipped with a note, exactly like
+    ``repro bench``); ``--mode both`` (the default) runs fresh-build
+    and ``apply_delta`` arms.  ``--json`` writes the merged report
+    (one deterministic body + one volatile ``runs`` block per arm).
+    """
+    import json
+
+    from repro.analysis import format_table
+    from repro.core.scenario import (
+        assert_identical_reports,
+        load_blueprint,
+        report_signature,
+        strip_volatile,
+        sweep_blueprint,
+    )
+
+    blueprint = load_blueprint(args.blueprint)
+    topo = blueprint.topology()
+    if args.engine == "all":
+        engines = []
+        for engine in sorted(ENGINES):
+            try:
+                make_engine(topo.graph, engine)
+            except GraphError as err:
+                print(f"skipping {engine}: {err}")
+                continue
+            engines.append(engine)
+    else:
+        engines = [args.engine]
+    modes = ("fresh", "delta") if args.mode == "both" else (args.mode,)
+    reports = []
+    labels = []
+    for engine in engines:
+        for mode in modes:
+            reports.append(
+                sweep_blueprint(
+                    blueprint, engine=engine, mode=mode, jobs=args.jobs
+                )
+            )
+            labels.append(f"{engine}/{mode}")
+    assert_identical_reports(reports, labels)
+    body = strip_volatile(reports[0])
+    print(
+        f"blueprint {blueprint.name}: topology {blueprint.topology_ref} "
+        f"(n={topo.n} m={topo.m}), {len(body['scenarios'])} scenarios, "
+        f"sources {[s['name'] for s in body['sources']]}"
+    )
+    rows = []
+    for entry in body["scenarios"]:
+        stretch = entry["max_stretch"]
+        rows.append([
+            entry["id"],
+            entry["kind"],
+            len(entry["steps"]),
+            entry["max_concurrent_faults"],
+            entry["affected_pairs"],
+            entry["disconnected_pairs"],
+            f"{stretch:.2f}" if stretch is not None else "-",
+            entry["delta_edits"],
+        ])
+    print(format_table(
+        ["scenario", "kind", "steps", "faults", "affected",
+         "disconnected", "max stretch", "delta edits"],
+        rows,
+    ))
+    if "builder" in body:
+        b = body["builder"]
+        sizes = sorted(s["size"] for s in b["structures"].values())
+        print(
+            f"builder {b['name']} (budget {b['budget']}): |H| per source "
+            f"{sizes}, {b['verified_steps']} within-budget scenario steps "
+            f"verified via FTQueryOracle"
+        )
+    for report, label in zip(reports, labels):
+        run = report["run"]
+        print(
+            f"  {label:<16s} {1000.0 * run['seconds']:8.1f} ms "
+            f"(jobs {run['effective_jobs']})"
+        )
+    print(
+        f"differential: {len(reports)} arm(s) bit-identical "
+        f"(body {report_signature(reports[0])[:16]})"
+    )
+    if args.json:
+        payload = dict(body)
+        payload["runs"] = [r["run"] for r in reports]
+        json_out = resolve_out(args.json)
+        with open(json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {json_out}")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve point/batch/path queries from a saved structure or artifact.
 
@@ -616,7 +734,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    """Run one (or all) of the E1-E17 experiment benchmarks via pytest."""
+    """Run one (or all) of the E1-E19 experiment benchmarks via pytest."""
     import pathlib
 
     import pytest as _pytest
@@ -735,6 +853,45 @@ def make_parser() -> argparse.ArgumentParser:
                          help="also write machine-readable results here")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_scenarios = sub.add_parser(
+        "scenarios",
+        help="sweep a failure-scenario blueprint (see docs/scenarios.md)",
+    )
+    p_scenarios.add_argument(
+        "--blueprint", required=True,
+        help="scenario blueprint JSON (e.g. benchmarks/topologies/*.json)",
+    )
+    p_scenarios.add_argument(
+        "--engine",
+        choices=sorted(ENGINES) + ["all"],
+        default="all",
+        help=(
+            "engine to sweep, or 'all' (default) to run every engine "
+            "this host supports and assert differential identity"
+        ),
+    )
+    p_scenarios.add_argument(
+        "--mode",
+        choices=("fresh", "delta", "both"),
+        default="both",
+        help=(
+            "execution mode: fresh per-step rebuilds, incremental "
+            "apply_delta, or 'both' (default; identity asserted)"
+        ),
+    )
+    p_scenarios.add_argument(
+        "--jobs", default=None,
+        help=(
+            "process-pool workers sharding the scenario sweep "
+            "('auto' = one per CPU; default: REPRO_JOBS, else 1)"
+        ),
+    )
+    p_scenarios.add_argument(
+        "--json", default=None,
+        help="also write the merged machine-readable report here",
+    )
+    p_scenarios.set_defaults(func=cmd_scenarios)
+
     p_serve = sub.add_parser(
         "serve", help="serve queries from a saved structure or artifact"
     )
@@ -758,9 +915,9 @@ def make_parser() -> argparse.ArgumentParser:
     p_serve.set_defaults(func=cmd_serve)
 
     p_exp = sub.add_parser(
-        "experiment", help="run an experiment benchmark (E1..E17 or 'all')"
+        "experiment", help="run an experiment benchmark (E1..E19 or 'all')"
     )
-    p_exp.add_argument("id", help="experiment id, e.g. e1, E17, all")
+    p_exp.add_argument("id", help="experiment id, e.g. e1, E19, all")
     p_exp.set_defaults(func=cmd_experiment)
     return parser
 

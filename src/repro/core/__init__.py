@@ -14,6 +14,7 @@ from repro.core.canonical import (
     DEFAULT_ENGINE,
     HAVE_BULK,
     INF,
+    UNREACHABLE,
     UNREACHED,
     BulkDistanceOracle,
     BulkLexShortestPaths,
@@ -30,6 +31,8 @@ from repro.core.canonical import (
     eccentricity,
     make_engine,
     multi_source_distances,
+    normalize_distance,
+    normalize_distances,
 )
 from repro.core.csr import CSRGraph, csr_of
 from repro.core.query_batch import (
@@ -59,14 +62,33 @@ from repro.core.io import (
 )
 from repro.core.graph import Edge, Graph, graph_from_edges, normalize_edge, normalize_edges
 from repro.core.paths import Path, path_from_parents
+from repro.core.scenario import (
+    Blueprint,
+    Scenario,
+    assert_identical_reports,
+    expand_blueprint,
+    load_blueprint,
+    report_signature,
+    strip_volatile,
+    sweep_blueprint,
+)
+from repro.core.topology import (
+    Topology,
+    load_edge_list,
+    load_graphml,
+    load_topology,
+    topology_from_spec,
+)
 from repro.core.tree import BFSTree
 
 __all__ = [
     "DEFAULT_ENGINE",
     "HAVE_BULK",
     "INF",
+    "UNREACHABLE",
     "UNREACHED",
     "BFSTree",
+    "Blueprint",
     "BulkDistanceOracle",
     "BulkLexShortestPaths",
     "CDistanceOracle",
@@ -88,27 +110,41 @@ __all__ = [
     "PythonDistanceOracle",
     "QueryHandle",
     "ReproError",
+    "Scenario",
     "SearchResult",
     "SnapshotCache",
+    "Topology",
     "VerificationError",
+    "assert_identical_reports",
     "batching_enabled",
     "bfs_distance",
     "bfs_distances",
     "csr_of",
     "eccentricity",
+    "expand_blueprint",
     "graph_from_edges",
     "graph_from_text",
     "graph_to_text",
+    "load_blueprint",
+    "load_edge_list",
     "load_graph",
+    "load_graphml",
     "load_structure",
+    "load_topology",
     "make_engine",
     "multi_source_distances",
+    "normalize_distance",
+    "normalize_distances",
     "normalize_edge",
     "normalize_edges",
     "path_from_parents",
+    "report_signature",
     "save_graph",
     "save_structure",
     "shared_cache",
+    "strip_volatile",
     "structure_from_json",
     "structure_to_json",
+    "sweep_blueprint",
+    "topology_from_spec",
 ]

@@ -134,6 +134,33 @@ UNREACHED = -1
 #: Distance value reported for unreachable vertices by convenience APIs.
 INF = float("inf")
 
+#: The one documented unreachable sentinel for analysis and report
+#: paths.  The kernels speak two dialects — integer distance vectors
+#: (:meth:`DistanceOracle.distances_from`) encode unreachable as
+#: :data:`UNREACHED` (-1, keeps the vector integer), scalar and bulk
+#: point queries return :data:`INF` — and everything downstream of the
+#: kernels (replacement-path analysis, scenario reports, the
+#: differential harness) normalizes both through
+#: :func:`normalize_distance` to this value.
+UNREACHABLE = INF
+
+
+def normalize_distance(d) -> float:
+    """Map any kernel distance encoding onto the documented sentinel.
+
+    Accepts the raw ``-1`` of integer distance vectors, the ``inf`` of
+    point queries, and ``None``; any of them comes back as
+    :data:`UNREACHABLE`, every reachable hop count as a plain ``int``.
+    """
+    if d is None or d == UNREACHED or d == INF:
+        return UNREACHABLE
+    return int(d)
+
+
+def normalize_distances(vec) -> List[float]:
+    """Vector form of :func:`normalize_distance` (returns a fresh list)."""
+    return [normalize_distance(d) for d in vec]
+
 
 class SearchResult:
     """Outcome of a single-source canonical shortest-path computation.

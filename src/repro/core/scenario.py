@@ -1,0 +1,839 @@
+"""Failure-scenario blueprints: versioned JSON fault scripts + sweeps.
+
+A *blueprint* is a small JSON document that names a topology (see
+:mod:`repro.core.topology`) and describes failure-scenario families —
+single-link, dual-link, correlated SRLG fault sets, and rolling
+maintenance waves — which :func:`expand_blueprint` turns into concrete
+:class:`Scenario` objects **deterministically from the blueprint
+seed**: the same file expands to the same scenario list in every
+process, every job count, every engine.  :func:`sweep_blueprint` then
+replays each scenario against one canonical engine in one of two
+execution modes:
+
+* ``fresh`` — per step, a fresh :class:`~repro.core.graph.Graph` over
+  the surviving edge set plus a fresh oracle (and a point-query
+  cross-check of affected targets through the base oracle's
+  :meth:`~repro.core.canonical.DistanceOracle.distances_bulk`, which
+  drives the :class:`~repro.core.query_batch.PointQueryBatch`
+  planner);
+* ``delta`` — one long-lived graph absorbing each step via
+  :meth:`~repro.core.graph.Graph.apply_delta`, the oracle staying
+  bound across the incremental CSR snapshots, restored to the base
+  edge set when the scenario ends.
+
+Both modes must produce bit-identical recovery metrics — that is the
+differential contract ``tests/diffcheck.py`` enforces across all
+canonical engines.  A sweep report therefore splits into a
+deterministic body (scenario metrics, normalized through
+:data:`~repro.core.canonical.UNREACHABLE`) and one volatile ``"run"``
+block (wall time, cache counters, job counts) that
+:func:`strip_volatile` removes before any identity comparison.
+
+The blueprint format itself is specified in ``docs/scenarios.md``; the
+checked-in mini-corpus lives under ``benchmarks/topologies/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+import time
+from pathlib import Path as FsPath
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import parallel
+from repro.core.canonical import (
+    DEFAULT_ENGINE,
+    UNREACHABLE,
+    DistanceOracle,
+    make_engine,
+    normalize_distance,
+)
+from repro.core.errors import GraphError, VerificationError
+from repro.core.graph import Edge, Graph
+from repro.core.snapshot_cache import shared_cache
+from repro.core.topology import Topology, load_topology
+
+#: The document type / schema version this module reads and writes.
+BLUEPRINT_FORMAT = "repro-scenario-blueprint"
+BLUEPRINT_VERSION = 1
+
+#: Scenario families a blueprint may request.
+SCENARIO_KINDS = ("single_link", "dual_link", "srlg", "maintenance")
+
+#: Default number of sources swept when a blueprint names none.
+DEFAULT_SOURCES = 4
+
+#: Per-source cap on the fresh-mode point-query cross-check sample.
+CROSS_CHECK_TARGETS = 8
+
+#: Report keys excluded from the bit-identity guarantee (see
+#: :func:`strip_volatile`): wall times, cache/migration counters and
+#: host-dependent execution detail live under ``"run"``.
+VOLATILE_KEYS = ("run",)
+
+
+class Scenario:
+    """One concrete failure scenario: an ordered script of delta steps.
+
+    ``steps`` is a tuple of ``(removes, adds)`` pairs of normalized
+    edges; step ``i`` is applied on top of step ``i-1`` and metrics
+    are measured after each step.  Scenarios only ever remove edges of
+    the base topology (maintenance steps re-add earlier waves), so the
+    surviving graph is always a subgraph of the base — which is what
+    makes the fresh-mode ``banned_edges`` cross-check sound.
+    """
+
+    __slots__ = ("sid", "kind", "steps")
+
+    def __init__(
+        self,
+        sid: str,
+        kind: str,
+        steps: Sequence[Tuple[Tuple[Edge, ...], Tuple[Edge, ...]]],
+    ) -> None:
+        self.sid = sid
+        self.kind = kind
+        self.steps = tuple(
+            (tuple(removes), tuple(adds)) for removes, adds in steps
+        )
+
+    @property
+    def fault_edges(self) -> Tuple[Edge, ...]:
+        """Every edge the script ever removes, sorted."""
+        out = set()
+        for removes, _adds in self.steps:
+            out.update(removes)
+        return tuple(sorted(out))
+
+    @property
+    def delta_edits(self) -> int:
+        """Total structural delta cost: edge edits across all steps."""
+        return sum(len(r) + len(a) for r, a in self.steps)
+
+    @property
+    def max_concurrent_faults(self) -> int:
+        """Largest number of simultaneously failed edges in the script."""
+        removed: set = set()
+        worst = 0
+        for removes, adds in self.steps:
+            removed.difference_update(adds)
+            removed.update(removes)
+            worst = max(worst, len(removed))
+        return worst
+
+    def __repr__(self) -> str:
+        return f"Scenario({self.sid!r}, steps={len(self.steps)})"
+
+
+class Blueprint:
+    """A parsed, validated scenario blueprint (see ``docs/scenarios.md``).
+
+    Construct via :func:`load_blueprint` (file) or
+    :func:`blueprint_from_dict` (in-memory).  Holds only declarative
+    data; :meth:`topology` materializes the graph and
+    :func:`expand_blueprint` the concrete scenarios.
+    """
+
+    __slots__ = ("name", "seed", "topology_ref", "specs", "sources_spec",
+                 "builder_spec", "base_dir", "path")
+
+    def __init__(self, name, seed, topology_ref, specs, sources_spec,
+                 builder_spec, base_dir=None, path=None) -> None:
+        self.name = name
+        self.seed = seed
+        self.topology_ref = topology_ref
+        self.specs = specs
+        self.sources_spec = sources_spec
+        self.builder_spec = builder_spec
+        self.base_dir = base_dir
+        self.path = path
+
+    def topology(self) -> Topology:
+        """Load/generate the blueprint's topology (fresh each call)."""
+        return load_topology(self.topology_ref, base_dir=self.base_dir)
+
+    def resolve_sources(self, topo: Topology) -> Tuple[int, ...]:
+        """The swept source vertices, as sorted ids.
+
+        An explicit ``"sources"`` list (names or ids) is resolved
+        through the topology's naming map; otherwise a deterministic
+        seed-driven sample of :data:`DEFAULT_SOURCES` vertices.
+        """
+        if self.sources_spec is not None:
+            out = sorted({topo.vertex(s) for s in self.sources_spec})
+            return tuple(out)
+        rng = random.Random(f"{self.seed}:sources")
+        count = min(DEFAULT_SOURCES, topo.n)
+        return tuple(sorted(rng.sample(range(topo.n), count)))
+
+
+def _require(cond: bool, where: str, msg: str) -> None:
+    """Raise a blueprint :class:`GraphError` with its origin attached."""
+    if not cond:
+        raise GraphError(f"{where}: {msg}")
+
+
+def blueprint_from_dict(doc: dict, *, base_dir=None,
+                        where: str = "<blueprint>") -> Blueprint:
+    """Validate a decoded blueprint document into a :class:`Blueprint`.
+
+    ``where`` names the origin (a file path for :func:`load_blueprint`)
+    so every validation failure is a typed :class:`GraphError` carrying
+    it.  Unknown top-level or scenario keys are rejected — a typo in a
+    corpus file must fail loudly, not silently change the sweep.
+    """
+    _require(isinstance(doc, dict), where, "blueprint must be a JSON object")
+    _require(
+        doc.get("format") == BLUEPRINT_FORMAT, where,
+        f"not a {BLUEPRINT_FORMAT} document (format={doc.get('format')!r})",
+    )
+    _require(
+        doc.get("version") == BLUEPRINT_VERSION, where,
+        f"unsupported blueprint version {doc.get('version')!r} "
+        f"(this build reads version {BLUEPRINT_VERSION})",
+    )
+    allowed = {"format", "version", "name", "seed", "topology",
+               "scenarios", "sources", "builder"}
+    extra = sorted(set(doc) - allowed)
+    _require(not extra, where, f"unknown blueprint key(s): {', '.join(extra)}")
+    name = doc.get("name")
+    _require(isinstance(name, str) and name, where, "missing 'name' string")
+    seed = doc.get("seed")
+    _require(
+        isinstance(seed, int) and not isinstance(seed, bool), where,
+        "missing integer 'seed'",
+    )
+    topology_ref = doc.get("topology")
+    _require(
+        isinstance(topology_ref, str) and topology_ref, where,
+        "missing 'topology' reference (file or family:args spec)",
+    )
+    specs = doc.get("scenarios")
+    _require(
+        isinstance(specs, list) and specs, where,
+        "'scenarios' must be a non-empty list",
+    )
+    for idx, spec in enumerate(specs):
+        spot = f"{where}: scenarios[{idx}]"
+        _require(isinstance(spec, dict), spot, "must be an object")
+        kind = spec.get("kind")
+        _require(
+            kind in SCENARIO_KINDS, spot,
+            f"unknown scenario kind {kind!r} "
+            f"(known: {', '.join(SCENARIO_KINDS)})",
+        )
+        keys = set(spec) - {"kind"}
+        if kind in ("single_link", "dual_link"):
+            _require(keys <= {"count"}, spot,
+                     f"unexpected key(s): {', '.join(sorted(keys - {'count'}))}")
+            count = spec.get("count")
+            if count is not None:
+                _require(isinstance(count, int) and count > 0, spot,
+                         "'count' must be a positive integer")
+        elif kind == "srlg":
+            _require(
+                keys and keys <= {"groups", "size", "count"}, spot,
+                "needs explicit 'groups' or sampled 'size' + 'count'",
+            )
+            if "groups" in spec:
+                _require(keys == {"groups"}, spot,
+                         "'groups' excludes 'size'/'count'")
+                _require(
+                    isinstance(spec["groups"], list) and spec["groups"], spot,
+                    "'groups' must be a non-empty list of edge lists",
+                )
+            else:
+                _require(keys == {"size", "count"}, spot,
+                         "sampled SRLG needs both 'size' and 'count'")
+                for key in ("size", "count"):
+                    _require(
+                        isinstance(spec[key], int) and spec[key] > 0, spot,
+                        f"'{key}' must be a positive integer",
+                    )
+        elif kind == "maintenance":
+            _require(keys <= {"waves", "wave_size"}, spot,
+                     "allows only 'waves' and 'wave_size'")
+            for key in ("waves", "wave_size"):
+                value = spec.get(key, 2)
+                _require(isinstance(value, int) and value > 0, spot,
+                         f"'{key}' must be a positive integer")
+    sources_spec = doc.get("sources")
+    if sources_spec is not None:
+        _require(
+            isinstance(sources_spec, list) and sources_spec, where,
+            "'sources' must be a non-empty list of vertex names/ids",
+        )
+    builder_spec = doc.get("builder")
+    if builder_spec is not None:
+        _require(isinstance(builder_spec, dict), where,
+                 "'builder' must be an object")
+        extra_b = sorted(set(builder_spec) - {"name"})
+        _require(not extra_b, where,
+                 f"unknown builder key(s): {', '.join(extra_b)}")
+        _require(
+            builder_spec.get("name") in BUILDER_BUDGETS, where,
+            f"unknown builder {builder_spec.get('name')!r} "
+            f"(known: {', '.join(sorted(BUILDER_BUDGETS))})",
+        )
+    return Blueprint(name, seed, topology_ref, specs, sources_spec,
+                     builder_spec, base_dir=base_dir, path=where)
+
+
+def load_blueprint(path) -> Blueprint:
+    """Load and validate a blueprint JSON file.
+
+    Unreadable files, invalid JSON (with the decoder's line number),
+    and schema violations all raise :class:`GraphError` naming the
+    path — the CLI turns these into clean ``error:`` lines.
+    """
+    path = FsPath(path)
+    try:
+        text = path.read_text()
+    except OSError as err:
+        raise GraphError(f"cannot read blueprint {path}: {err}") from None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise GraphError(
+            f"{path}:{err.lineno}: invalid blueprint JSON ({err.msg})"
+        ) from None
+    return blueprint_from_dict(doc, base_dir=path.parent, where=str(path))
+
+
+# ----------------------------------------------------------------------
+# deterministic expansion
+# ----------------------------------------------------------------------
+def _sample_distinct(rng: random.Random, edges: Sequence[Edge], size: int,
+                     count: int, where: str) -> List[Tuple[Edge, ...]]:
+    """``count`` distinct sorted ``size``-subsets of ``edges`` (seeded)."""
+    limit = math.comb(len(edges), size)
+    _require(
+        count <= limit, where,
+        f"cannot draw {count} distinct fault sets of size {size} "
+        f"from {len(edges)} edges",
+    )
+    seen: set = set()
+    out: List[Tuple[Edge, ...]] = []
+    while len(out) < count:
+        pick = tuple(sorted(rng.sample(edges, size)))
+        if pick not in seen:
+            seen.add(pick)
+            out.append(pick)
+    return out
+
+
+def expand_blueprint(blueprint: Blueprint,
+                     topo: Optional[Topology] = None) -> List[Scenario]:
+    """Expand a blueprint into concrete scenarios, deterministically.
+
+    Each scenario spec at index ``i`` draws from its own
+    ``random.Random(f"{seed}:{i}")`` stream (string seeding is stable
+    across processes and ``PYTHONHASHSEED`` values), so inserting a
+    spec never reshuffles its neighbors and re-expansion is
+    byte-identical everywhere — the property the seed-determinism
+    tests pin down.
+    """
+    if topo is None:
+        topo = blueprint.topology()
+    edges = sorted(topo.graph.edges())
+    where = f"{blueprint.path}" if blueprint.path else blueprint.name
+    scenarios: List[Scenario] = []
+    for idx, spec in enumerate(blueprint.specs):
+        kind = spec["kind"]
+        spot = f"{where}: scenarios[{idx}]"
+        rng = random.Random(f"{blueprint.seed}:{idx}")
+        width = len(str(max(len(edges), 1)))
+        if kind == "single_link":
+            count = spec.get("count")
+            picks = (
+                [(e,) for e in edges] if count is None or count >= len(edges)
+                else [(e,) for e in sorted(rng.sample(edges, count))]
+            )
+            for j, faults in enumerate(picks):
+                scenarios.append(Scenario(
+                    f"{idx}.single_link.{str(j).zfill(width)}",
+                    kind, [(faults, ())],
+                ))
+        elif kind == "dual_link":
+            count = spec.get("count", min(8, len(edges)))
+            _require(len(edges) >= 2, spot, "needs at least 2 edges")
+            for j, faults in enumerate(
+                _sample_distinct(rng, edges, 2, count, spot)
+            ):
+                scenarios.append(Scenario(
+                    f"{idx}.dual_link.{str(j).zfill(width)}",
+                    kind, [(faults, ())],
+                ))
+        elif kind == "srlg":
+            if "groups" in spec:
+                groups = []
+                for g_idx, group in enumerate(spec["groups"]):
+                    _require(
+                        isinstance(group, list) and len(group) >= 2,
+                        f"{spot}: groups[{g_idx}]",
+                        "an SRLG needs at least 2 edges",
+                    )
+                    resolved = tuple(sorted(topo.edge(pair) for pair in group))
+                    _require(
+                        len(set(resolved)) == len(resolved),
+                        f"{spot}: groups[{g_idx}]", "duplicate edge in group",
+                    )
+                    groups.append(resolved)
+            else:
+                size = spec["size"]
+                _require(size <= len(edges), spot,
+                         f"SRLG size {size} exceeds edge count {len(edges)}")
+                groups = _sample_distinct(rng, edges, size, spec["count"], spot)
+            for j, faults in enumerate(groups):
+                scenarios.append(Scenario(
+                    f"{idx}.srlg.{str(j).zfill(width)}", kind, [(faults, ())],
+                ))
+        elif kind == "maintenance":
+            waves = spec.get("waves", 2)
+            wave_size = spec.get("wave_size", 2)
+            _require(
+                waves * wave_size <= len(edges), spot,
+                f"{waves} waves x {wave_size} edges exceed "
+                f"the {len(edges)}-edge topology",
+            )
+            shuffled = list(edges)
+            rng.shuffle(shuffled)
+            wave_sets = [
+                tuple(sorted(shuffled[w * wave_size:(w + 1) * wave_size]))
+                for w in range(waves)
+            ]
+            steps = []
+            for w, wave in enumerate(wave_sets):
+                adds = wave_sets[w - 1] if w else ()
+                steps.append((wave, adds))
+            scenarios.append(Scenario(
+                f"{idx}.maintenance.{str(0).zfill(width)}", kind, steps,
+            ))
+    return scenarios
+
+
+# ----------------------------------------------------------------------
+# replaying one scenario (the sharded worker task)
+# ----------------------------------------------------------------------
+def _oracle_for(graph: Graph, engine_name: Optional[str]):
+    """The engine's declared oracle family on ``graph`` (serial idiom)."""
+    engine = (
+        make_engine(graph, engine_name) if engine_name else make_engine(graph)
+    )
+    return getattr(engine, "oracle_class", DistanceOracle)(graph)
+
+
+def _check_sentinel(vec: Sequence[float], context: str) -> None:
+    """Enforce the documented-sentinel contract on a normalized vector.
+
+    Every entry must be a non-negative hop count or exactly
+    :data:`~repro.core.canonical.UNREACHABLE`; anything else means an
+    engine leaked a private encoding into an analysis path.
+    """
+    for v, d in enumerate(vec):
+        if d == UNREACHABLE:
+            continue
+        if not isinstance(d, int) or d < 0:
+            raise VerificationError(
+                f"{context}: vertex {v} reports {d!r}, which is neither a "
+                f"non-negative hop count nor the UNREACHABLE sentinel"
+            )
+
+
+def _vector_signature(vecs: Dict[int, List[float]]) -> str:
+    """Order-independent digest of normalized per-source distance vectors."""
+    blob = json.dumps(
+        {
+            str(s): [None if d == UNREACHABLE else d for d in vec]
+            for s, vec in vecs.items()
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def _step_metrics(sources: Sequence[int], base: Dict[int, List[float]],
+                  now: Dict[int, List[float]]) -> dict:
+    """Recovery metrics of one step vs the base graph (deterministic)."""
+    affected = disconnected = 0
+    max_added = 0
+    max_stretch: Optional[float] = None
+    stretch_sum = 0.0
+    stretch_n = 0
+    for s in sources:
+        b_vec, n_vec = base[s], now[s]
+        for t in range(len(b_vec)):
+            b, d = b_vec[t], n_vec[t]
+            if b == d:
+                continue
+            affected += 1
+            if d == UNREACHABLE:
+                disconnected += 1
+                continue
+            # b < d < inf here: removals can only lengthen a path, and
+            # b > 0 because dist(s, s) never changes.
+            max_added = max(max_added, d - b)
+            stretch = d / b
+            stretch_sum += stretch
+            stretch_n += 1
+            if max_stretch is None or stretch > max_stretch:
+                max_stretch = stretch
+    return {
+        "affected_pairs": affected,
+        "disconnected_pairs": disconnected,
+        "max_added_hops": max_added,
+        "max_stretch": max_stretch,
+        "mean_stretch": stretch_sum / stretch_n if stretch_n else None,
+        "signature": _vector_signature(now),
+    }
+
+
+def _cross_check(oracle, sources: Sequence[int], removed: Sequence[Edge],
+                 base: Dict[int, List[float]], now: Dict[int, List[float]],
+                 context: str) -> int:
+    """Replay affected targets through ``distances_bulk`` on the base oracle.
+
+    The surviving graph is the base graph minus ``removed``, so banning
+    the removed edges in a point-query batch must reproduce the
+    materialized per-step vectors exactly.  This is the arm that drives
+    the :class:`~repro.core.query_batch.PointQueryBatch` planner during
+    a sweep; returns the number of pairs checked.
+    """
+    pairs: List[Tuple[int, int]] = []
+    expected: List[float] = []
+    for s in sources:
+        picked = 0
+        for t in range(len(now[s])):
+            if picked >= CROSS_CHECK_TARGETS:
+                break
+            if base[s][t] != now[s][t]:
+                pairs.append((s, t))
+                expected.append(now[s][t])
+                picked += 1
+    if not pairs:
+        return 0
+    got = oracle.distances_bulk(pairs, banned_edges=removed)
+    for (s, t), want, have in zip(pairs, expected, got):
+        if normalize_distance(have) != want:
+            raise VerificationError(
+                f"{context}: point-query batch disagrees with the "
+                f"materialized vector at ({s}, {t}): {have!r} vs {want!r}"
+            )
+    return len(pairs)
+
+
+def _replay_scenario(graph: Graph, oracle, sources: Sequence[int],
+                     base: Dict[int, List[float]], scenario_steps, sid: str,
+                     mode: str, engine: Optional[str]) -> Tuple[List[dict], int]:
+    """Replay one scenario's steps.
+
+    Returns ``(per-step metric dicts, cross-checked pair count)``; the
+    count stays out of the metric dicts because fresh and delta bodies
+    must be byte-identical and only fresh mode runs the cross-check.
+    """
+    n = graph.n
+    edges = sorted(graph.edges())
+    removed: set = set()
+    entries: List[dict] = []
+    checked = 0
+    try:
+        for step_idx, (removes, adds) in enumerate(scenario_steps):
+            removed.difference_update(adds)
+            removed.update(removes)
+            if mode == "delta":
+                graph.apply_delta(adds=adds, removes=removes)
+                step_oracle = oracle
+            else:
+                step_graph = Graph(
+                    n, [e for e in edges if e not in removed]
+                )
+                step_oracle = _oracle_for(step_graph, engine)
+            vecs = {
+                s: [normalize_distance(d)
+                    for d in step_oracle.distances_from(s)]
+                for s in sources
+            }
+            context = f"scenario {sid} step {step_idx} ({mode})"
+            for s in sources:
+                _check_sentinel(vecs[s], context)
+            entry = _step_metrics(sources, base, vecs)
+            entry["faults_active"] = len(removed)
+            entry["removes"] = [list(e) for e in removes]
+            entry["adds"] = [list(e) for e in adds]
+            if mode == "fresh":
+                checked += _cross_check(
+                    oracle, sources, sorted(removed), base, vecs, context
+                )
+            entries.append(entry)
+    finally:
+        if mode == "delta" and removed:
+            # Leave the worker's long-lived graph as we found it.
+            graph.apply_delta(adds=sorted(removed))
+    return entries, checked
+
+
+def _sweep_shard(payload, chunk):
+    """Pool task: replay a chunk of scenarios (see :func:`sweep_blueprint`).
+
+    ``payload`` is ``((n, edge_list), sources, engine, mode)``; the
+    worker rebuilds the graph, computes the base vectors once (the
+    engines' bit-identity contract makes them equal to the parent's),
+    and replays each ``(sid, kind, steps)`` item of the chunk.
+    Per-scenario metric dicts are pure data, so the in-order merge of
+    :func:`repro.core.parallel.run_sharded` is trivially bit-identical.
+    """
+    (n, edge_list), sources, engine, mode = payload
+    graph = Graph(n, edge_list)
+    parallel.worker_counters_begin()
+    oracle = _oracle_for(graph, engine)
+    base = {
+        s: [normalize_distance(d) for d in oracle.distances_from(s)]
+        for s in sources
+    }
+    results = []
+    checked_total = 0
+    for sid, kind, steps in chunk:
+        entries, checked = _replay_scenario(
+            graph, oracle, sources, base, steps, sid, mode, engine
+        )
+        results.append(entries)
+        checked_total += checked
+    counters = parallel.worker_counters_end(graph)
+    counters["scenario_sweep"] = {"cross_checked_pairs": checked_total}
+    return results, counters
+
+
+# ----------------------------------------------------------------------
+# the sweep driver and report plumbing
+# ----------------------------------------------------------------------
+#: Builders a blueprint's optional ``"builder"`` block may request,
+#: with the fault budget their structures guarantee.
+BUILDER_BUDGETS = {"cons2": 2, "simple": 2, "single": 1}
+
+
+def _builder_report(topo: Topology, sources: Sequence[int],
+                    scenarios: Sequence[Scenario], builder_name: str,
+                    engine: Optional[str]) -> dict:
+    """Build the requested FT structure per source and verify it.
+
+    Structures are engine-invariant (the canonical-engine contract), so
+    the recorded sizes and edge-set digests are part of the
+    deterministic report body.  Every scenario step whose concurrent
+    fault count fits the builder's budget is verified through
+    :class:`~repro.ftbfs.oracle.FTQueryOracle` against the direct
+    oracle — the arm that drives the builders during a sweep.
+    """
+    from repro.ftbfs import (
+        FTQueryOracle,
+        build_cons2ftbfs,
+        build_dual_ftbfs_simple,
+        build_single_ftbfs,
+    )
+
+    builders = {
+        "cons2": build_cons2ftbfs,
+        "simple": build_dual_ftbfs_simple,
+        "single": build_single_ftbfs,
+    }
+    budget = BUILDER_BUDGETS[builder_name]
+    build = builders[builder_name]
+    graph = topo.graph
+    direct = _oracle_for(graph, engine)
+    structures = {}
+    verified_steps = 0
+    for s in sources:
+        h = build(graph, s, engine=engine)
+        digest = hashlib.sha256(
+            json.dumps(sorted(h.edges), separators=(",", ":")).encode("ascii")
+        ).hexdigest()
+        structures[str(s)] = {"size": h.size, "edge_digest": digest}
+        ft = FTQueryOracle(h, engine=engine)
+        for scenario in scenarios:
+            removed: set = set()
+            for step_idx, (removes, adds) in enumerate(scenario.steps):
+                removed.difference_update(adds)
+                removed.update(removes)
+                if len(removed) > budget:
+                    continue
+                faults = sorted(removed)
+                targets = range(graph.n)
+                want = [
+                    normalize_distance(d)
+                    for d in direct.distances_bulk(
+                        [(s, t) for t in targets], banned_edges=faults
+                    )
+                ]
+                got = [
+                    normalize_distance(d)
+                    for d in ft.distances_bulk(s, list(targets), faults)
+                ]
+                if got != want:
+                    raise VerificationError(
+                        f"builder {builder_name!r}: FTQueryOracle diverges "
+                        f"from the direct oracle on scenario {scenario.sid} "
+                        f"step {step_idx} from source {s}"
+                    )
+                verified_steps += 1
+    return {
+        "name": builder_name,
+        "budget": budget,
+        "structures": structures,
+        "verified_steps": verified_steps,
+    }
+
+
+def sweep_blueprint(blueprint: Blueprint, *, engine: Optional[str] = None,
+                    mode: str = "fresh", jobs=None) -> dict:
+    """Sweep every scenario of a blueprint under one engine and mode.
+
+    Returns the report dict: a deterministic body (blueprint identity,
+    sources, per-scenario recovery metrics, the optional builder
+    block) plus the volatile ``"run"`` block (engine, mode, wall time,
+    cache counters, job accounting) that :func:`strip_volatile` drops
+    before identity comparisons.  ``jobs`` follows
+    :func:`repro.core.parallel.effective_jobs` (``REPRO_JOBS`` aware);
+    sharded runs merge in scenario order, so the body is byte-identical
+    at every job count.
+    """
+    if mode not in ("fresh", "delta"):
+        raise GraphError(f"unknown sweep mode {mode!r} (fresh or delta)")
+    engine_name = engine or DEFAULT_ENGINE
+    topo = blueprint.topology()
+    scenarios = expand_blueprint(blueprint, topo)
+    sources = blueprint.resolve_sources(topo)
+    items = [(s.sid, s.kind, s.steps) for s in scenarios]
+    payload = (parallel.graph_payload(topo.graph), sources, engine_name, mode)
+    njobs = parallel.effective_jobs(jobs, items=len(items))
+    t0 = time.perf_counter()
+    shared_cache().reset_stats()
+    step_lists = parallel.run_sharded(
+        _sweep_shard, items, payload=payload, jobs=njobs, label="scenarios"
+    )
+    pool_stats = parallel.last_run_stats()
+    elapsed = time.perf_counter() - t0
+    entries = []
+    for scenario, step_entries in zip(scenarios, step_lists):
+        named_steps = []
+        for entry in step_entries:
+            entry = dict(entry)
+            entry["removes"] = sorted(
+                topo.edge_name(e) for e in entry["removes"]
+            )
+            entry["adds"] = sorted(topo.edge_name(e) for e in entry["adds"])
+            named_steps.append(entry)
+        entries.append({
+            "id": scenario.sid,
+            "kind": scenario.kind,
+            "faults": [topo.edge_name(e) for e in scenario.fault_edges],
+            "max_concurrent_faults": scenario.max_concurrent_faults,
+            "delta_edits": scenario.delta_edits,
+            "affected_pairs": max(
+                e["affected_pairs"] for e in named_steps
+            ),
+            "disconnected_pairs": max(
+                e["disconnected_pairs"] for e in named_steps
+            ),
+            "max_stretch": max(
+                (e["max_stretch"] for e in named_steps
+                 if e["max_stretch"] is not None),
+                default=None,
+            ),
+            "steps": named_steps,
+        })
+    report = {
+        "format": "repro-scenario-report",
+        "version": BLUEPRINT_VERSION,
+        "blueprint": {
+            "name": blueprint.name,
+            "seed": blueprint.seed,
+            "topology": blueprint.topology_ref,
+            "n": topo.n,
+            "m": topo.m,
+        },
+        "sources": [
+            {"id": s, "name": topo.names[s]} for s in sources
+        ],
+        "scenarios": entries,
+        "run": {
+            "engine": engine_name,
+            "mode": mode,
+            "seconds": elapsed,
+            "jobs": njobs,
+            "effective_jobs": pool_stats.get("effective_jobs", 1),
+            "snapshot_cache": shared_cache().stats(),
+            "worker_counters": pool_stats.get("counters", {}),
+        },
+    }
+    if blueprint.builder_spec is not None:
+        report["builder"] = _builder_report(
+            topo, sources, scenarios, blueprint.builder_spec["name"],
+            engine_name,
+        )
+    return report
+
+
+def strip_volatile(report: dict) -> dict:
+    """The deterministic body of a sweep report (deep copy).
+
+    Drops every :data:`VOLATILE_KEYS` block — wall times, cache and
+    migration counters, job accounting — leaving exactly the part of
+    the report the differential contract guarantees byte-identical
+    across engines, execution modes and job counts.
+    """
+    body = json.loads(json.dumps(report, sort_keys=True))
+    for key in VOLATILE_KEYS:
+        body.pop(key, None)
+    return body
+
+
+def report_signature(report: dict) -> str:
+    """Digest of a report's deterministic body (for identity checks)."""
+    blob = json.dumps(
+        strip_volatile(report), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+def assert_identical_reports(reports: Sequence[dict],
+                             labels: Sequence[str]) -> None:
+    """Assert all reports share one deterministic body.
+
+    Raises :class:`VerificationError` naming the first diverging run
+    (by its label) and the first JSON pointer where the bodies differ —
+    the check both ``repro scenarios --engine all`` and the
+    differential test harness rely on.
+    """
+    if len(reports) < 2:
+        return
+    base = strip_volatile(reports[0])
+    for report, label in zip(reports[1:], labels[1:]):
+        body = strip_volatile(report)
+        if body != base:
+            pointer = _first_difference(base, body)
+            raise VerificationError(
+                f"differential mismatch: run {label!r} diverges from "
+                f"{labels[0]!r} at {pointer}"
+            )
+
+
+def _first_difference(a, b, path: str = "$") -> str:
+    """First JSON pointer where two decoded documents differ."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                return f"{path}.{key} (missing on one side)"
+            if a[key] != b[key]:
+                return _first_difference(a[key], b[key], f"{path}.{key}")
+        return path
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return f"{path} (length {len(a)} vs {len(b)})"
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                return _first_difference(x, y, f"{path}[{i}]")
+        return path
+    return f"{path} ({a!r} vs {b!r})"

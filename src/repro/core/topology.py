@@ -1,0 +1,403 @@
+"""Real-network topologies: loaders and parameterized generator families.
+
+All benchmarks and most tests historically ran on synthetic ER/chord
+graphs; this module supplies the *real-topology* side of the scenario
+corpus (see ``docs/scenarios.md``):
+
+* :func:`load_graphml` — Topology Zoo-style GraphML files (namespaced
+  or plain), node labels preserved;
+* :func:`load_edge_list` — named edge lists (one ``u v`` pair per
+  line, arbitrary string names; pure-integer files keep their ids);
+* :func:`fat_tree` / :func:`ring_topology` / :func:`torus_topology` —
+  the parameterized datacenter/backbone generator family, reachable
+  through :func:`topology_from_spec` (``"fattree:k=4"``,
+  ``"ring:n=16"``, ``"torus:rows=4,cols=4"``).
+
+Every loader normalizes into one :class:`Topology`: the usual dense
+:class:`~repro.core.graph.Graph` plus a **stable vertex-naming map** —
+vertex ``i`` is ``names[i]``, and names are assigned by sorting the
+node names lexicographically, so the same file always produces the
+same ids regardless of declaration order.  Malformed inputs raise
+:class:`~repro.core.errors.GraphError` carrying the offending path
+(and line, where one exists) instead of leaking parser tracebacks.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path as FsPath
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.core.errors import GraphError
+from repro.core.graph import Edge, Graph, normalize_edge
+
+PathLike = Union[str, FsPath]
+
+#: File suffixes each loader claims (used by :func:`load_topology`).
+GRAPHML_SUFFIXES = (".graphml", ".xml")
+EDGELIST_SUFFIXES = (".edges", ".edgelist", ".txt")
+
+
+class Topology:
+    """A graph plus the stable vertex-naming map it was loaded with.
+
+    Parameters
+    ----------
+    name:
+        Human-readable topology name (file stem or generator spec).
+    graph:
+        The dense-integer :class:`~repro.core.graph.Graph`.
+    names:
+        ``names[i]`` is the external name of vertex ``i``.  Loaders
+        assign ids by lexicographically sorting the names, so the map
+        is stable across loads of the same file.
+    """
+
+    __slots__ = ("name", "graph", "names", "_index")
+
+    def __init__(self, name: str, graph: Graph, names: Sequence[str]) -> None:
+        if len(names) != graph.n:
+            raise GraphError(
+                f"topology {name!r}: {len(names)} names for {graph.n} vertices"
+            )
+        self.name = name
+        self.graph = graph
+        self.names = tuple(str(x) for x in names)
+        self._index: Dict[str, int] = {x: i for i, x in enumerate(self.names)}
+        if len(self._index) != len(self.names):
+            raise GraphError(f"topology {name!r}: duplicate vertex names")
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self.graph.m
+
+    def vertex(self, ref) -> int:
+        """Resolve a vertex reference — an integer id or a name."""
+        if isinstance(ref, bool):
+            raise GraphError(f"invalid vertex reference {ref!r}")
+        if isinstance(ref, int):
+            if not self.graph.has_vertex(ref):
+                raise GraphError(
+                    f"vertex id {ref} out of range for topology "
+                    f"{self.name!r} (n={self.n})"
+                )
+            return ref
+        v = self._index.get(str(ref))
+        if v is None:
+            raise GraphError(
+                f"unknown vertex name {ref!r} in topology {self.name!r}"
+            )
+        return v
+
+    def edge(self, pair: Sequence) -> Edge:
+        """Resolve a ``(u, v)`` reference pair into a normalized edge."""
+        if len(pair) != 2:
+            raise GraphError(f"edge reference {pair!r} is not a pair")
+        e = normalize_edge(self.vertex(pair[0]), self.vertex(pair[1]))
+        if not self.graph.has_edge(*e):
+            raise GraphError(
+                f"edge {self.names[e[0]]}-{self.names[e[1]]} not present "
+                f"in topology {self.name!r}"
+            )
+        return e
+
+    def edge_name(self, e: Sequence[int]) -> str:
+        """Human-readable ``u-v`` label of an edge (by vertex names)."""
+        return f"{self.names[e[0]]}-{self.names[e[1]]}"
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, n={self.n}, m={self.m})"
+
+
+def _build(name: str, named_edges: List[Tuple[str, str]],
+           path: PathLike = None) -> Topology:
+    """Assemble a topology from named edges (sorted-name id assignment)."""
+    where = f" in {path}" if path is not None else ""
+    names = sorted({u for u, _ in named_edges} | {v for _, v in named_edges})
+    index = {x: i for i, x in enumerate(names)}
+    g = Graph(len(names))
+    for u, v in named_edges:
+        if u == v:
+            raise GraphError(
+                f"self loop {u!r}-{v!r}{where} (topologies must be simple)"
+            )
+        g.add_edge(index[u], index[v])  # duplicate links collapse (simple)
+    return Topology(name, g.finalize(), names)
+
+
+# ----------------------------------------------------------------------
+# file loaders
+# ----------------------------------------------------------------------
+def _localname(tag: str) -> str:
+    """Strip an XML namespace from an element tag."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def load_graphml(path: PathLike) -> Topology:
+    """Load a Topology Zoo-style GraphML file into a :class:`Topology`.
+
+    Namespaced and plain GraphML both work.  Node names come from the
+    ``label`` data key when one is declared and every label is unique,
+    else from the node ``id`` attributes.  Directed edge declarations
+    are folded into undirected edges and parallel links collapse (the
+    library's graphs are simple).  Malformed XML, missing node ids or
+    dangling edge endpoints raise :class:`GraphError` with the path
+    (and parser line where available).
+    """
+    path = FsPath(path)
+    try:
+        text = path.read_text()
+    except OSError as err:
+        raise GraphError(f"cannot read topology {path}: {err}") from None
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as err:
+        line, _col = getattr(err, "position", (0, 0))
+        msg = getattr(err, "msg", err)
+        raise GraphError(f"{path}:{line}: malformed GraphML ({msg})") from None
+    if _localname(root.tag) != "graphml":
+        raise GraphError(f"{path}: root element is not <graphml>")
+    label_keys = {
+        key.get("id")
+        for key in root.iter()
+        if _localname(key.tag) == "key"
+        and key.get("for") == "node"
+        and key.get("attr.name") in ("label", "Label", "name")
+    }
+    node_labels: Dict[str, str] = {}
+    named_edges: List[Tuple[str, str]] = []
+    for elem in root.iter():
+        tag = _localname(elem.tag)
+        if tag == "node":
+            node_id = elem.get("id")
+            if node_id is None:
+                raise GraphError(f"{path}: <node> without an id attribute")
+            label = node_id
+            for data in elem:
+                if (
+                    _localname(data.tag) == "data"
+                    and data.get("key") in label_keys
+                    and data.text
+                    and data.text.strip()
+                ):
+                    label = data.text.strip()
+            node_labels[node_id] = label
+    if not node_labels:
+        raise GraphError(f"{path}: GraphML file declares no nodes")
+    if len(set(node_labels.values())) != len(node_labels):
+        # Duplicate labels would merge distinct routers; fall back to
+        # the (unique by construction) node ids.
+        node_labels = {node_id: node_id for node_id in node_labels}
+    for elem in root.iter():
+        if _localname(elem.tag) != "edge":
+            continue
+        src, dst = elem.get("source"), elem.get("target")
+        if src is None or dst is None:
+            raise GraphError(f"{path}: <edge> without source/target")
+        if src not in node_labels or dst not in node_labels:
+            missing = src if src not in node_labels else dst
+            raise GraphError(f"{path}: edge references unknown node {missing!r}")
+        named_edges.append((node_labels[src], node_labels[dst]))
+    if not named_edges:
+        raise GraphError(f"{path}: GraphML file declares no edges")
+    return _build(path.stem, named_edges, path)
+
+
+def load_edge_list(path: PathLike) -> Topology:
+    """Load a named edge-list file into a :class:`Topology`.
+
+    Format: one ``u v`` pair per whitespace-separated line; blank
+    lines and ``#`` comments are ignored.  Names are arbitrary
+    strings; when *every* endpoint parses as a non-negative integer
+    the file is treated as an integer edge list instead (ids kept,
+    names are their decimal strings, an optional ``# n=<n>`` header
+    sets the vertex count).  Anything else — a line without exactly
+    two tokens, a self loop — raises :class:`GraphError` with the
+    path and line number.
+    """
+    path = FsPath(path)
+    try:
+        text = path.read_text()
+    except OSError as err:
+        raise GraphError(f"cannot read topology {path}: {err}") from None
+    header_n = None
+    named_edges: List[Tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("n="):
+                try:
+                    header_n = int(body[2:])
+                except ValueError:
+                    raise GraphError(
+                        f"{path}:{lineno}: bad vertex-count header {raw!r}"
+                    ) from None
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(
+                f"{path}:{lineno}: expected 'u v', got {raw!r}"
+            )
+        if parts[0] == parts[1]:
+            raise GraphError(
+                f"{path}:{lineno}: self loop {parts[0]!r} "
+                "(topologies must be simple)"
+            )
+        named_edges.append((parts[0], parts[1]))
+    if not named_edges:
+        raise GraphError(f"{path}: edge-list file declares no edges")
+    if all(tok.isdigit() for uv in named_edges for tok in uv):
+        ids = [(int(u), int(v)) for u, v in named_edges]
+        n = max(header_n or 0, 1 + max(max(u, v) for u, v in ids))
+        g = Graph(n)
+        for u, v in ids:
+            g.add_edge(u, v)
+        return Topology(path.stem, g.finalize(), [str(i) for i in range(n)])
+    return _build(path.stem, named_edges, path)
+
+
+# ----------------------------------------------------------------------
+# generator family
+# ----------------------------------------------------------------------
+def _pad(i: int, count: int) -> str:
+    """Zero-pad ``i`` to the width of ``count - 1`` (stable name sort)."""
+    return str(i).zfill(len(str(max(count - 1, 1))))
+
+
+def fat_tree(k: int) -> Topology:
+    """The switch layer of a ``k``-ary fat tree (``k`` even, >= 2).
+
+    ``(k/2)^2`` core switches, ``k`` pods of ``k/2`` aggregation plus
+    ``k/2`` edge switches: every pod is a complete aggregation-edge
+    bipartite graph and aggregation switch ``j`` of every pod uplinks
+    to core switches ``j*(k/2) .. (j+1)*(k/2)-1`` — the standard
+    rearrangeably non-blocking datacenter fabric, here without hosts
+    (structures on the switch fabric are what failures hit).
+    """
+    if k < 2 or k % 2:
+        raise GraphError(f"fat tree arity k={k} must be even and >= 2")
+    half = k // 2
+    cores = [f"core{_pad(i, half * half)}" for i in range(half * half)]
+    named_edges: List[Tuple[str, str]] = []
+    for p in range(k):
+        pod = f"pod{_pad(p, k)}"
+        aggs = [f"{pod}_agg{_pad(j, half)}" for j in range(half)]
+        edges = [f"{pod}_edge{_pad(j, half)}" for j in range(half)]
+        for a in aggs:
+            for e in edges:
+                named_edges.append((a, e))
+        for j, a in enumerate(aggs):
+            for c in range(j * half, (j + 1) * half):
+                named_edges.append((a, cores[c]))
+    return _build(f"fattree:k={k}", named_edges)
+
+
+def ring_topology(n: int) -> Topology:
+    """The ``n``-vertex ring (``n >= 3``) — the classic SONET/metro shape."""
+    if n < 3:
+        raise GraphError(f"ring needs n >= 3, got {n}")
+    names = [f"r{_pad(i, n)}" for i in range(n)]
+    named_edges = [(names[i], names[(i + 1) % n]) for i in range(n)]
+    return _build(f"ring:n={n}", named_edges)
+
+
+def torus_topology(rows: int, cols: int) -> Topology:
+    """The ``rows x cols`` 2D torus (both dimensions >= 3)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus dimensions must be >= 3 to stay simple")
+    names = [
+        [f"t{_pad(r, rows)}x{_pad(c, cols)}" for c in range(cols)]
+        for r in range(rows)
+    ]
+    named_edges: List[Tuple[str, str]] = []
+    for r in range(rows):
+        for c in range(cols):
+            named_edges.append((names[r][c], names[r][(c + 1) % cols]))
+            named_edges.append((names[r][c], names[(r + 1) % rows][c]))
+    return _build(f"torus:rows={rows},cols={cols}", named_edges)
+
+
+#: Generator family reachable through :func:`topology_from_spec`.
+TOPOLOGY_FAMILIES = {
+    "fattree": (fat_tree, ("k",)),
+    "ring": (ring_topology, ("n",)),
+    "torus": (torus_topology, ("rows", "cols")),
+}
+
+
+def topology_from_spec(spec: str) -> Topology:
+    """Materialize a ``family:key=value,...`` generator specification.
+
+    Families: ``fattree:k=4``, ``ring:n=16``, ``torus:rows=4,cols=4``.
+    Unknown families and missing/malformed arguments raise
+    :class:`GraphError` naming the spec.
+    """
+    if ":" not in spec:
+        raise GraphError(
+            f"topology spec {spec!r} must look like 'family:key=value,...'"
+        )
+    family, _, argstr = spec.partition(":")
+    if family not in TOPOLOGY_FAMILIES:
+        raise GraphError(
+            f"unknown topology family {family!r} "
+            f"(known: {', '.join(sorted(TOPOLOGY_FAMILIES))})"
+        )
+    func, params = TOPOLOGY_FAMILIES[family]
+    kwargs: Dict[str, int] = {}
+    for item in argstr.split(",") if argstr else []:
+        key, _, value = item.partition("=")
+        try:
+            kwargs[key] = int(value)
+        except ValueError:
+            raise GraphError(
+                f"topology spec {spec!r}: bad argument {item!r}"
+            ) from None
+    missing = [p for p in params if p not in kwargs]
+    if missing:
+        raise GraphError(
+            f"topology spec {spec!r} missing argument(s): {', '.join(missing)}"
+        )
+    extra = sorted(set(kwargs) - set(params))
+    if extra:
+        raise GraphError(
+            f"topology spec {spec!r} has unknown argument(s): {', '.join(extra)}"
+        )
+    return func(**kwargs)
+
+
+def load_topology(ref: PathLike, base_dir: PathLike = None) -> Topology:
+    """Resolve a topology reference: a file path or a generator spec.
+
+    ``ref`` ending in a GraphML suffix loads via :func:`load_graphml`,
+    an edge-list suffix via :func:`load_edge_list`; anything of the
+    form ``family:args`` goes through :func:`topology_from_spec`.
+    Relative file paths resolve against ``base_dir`` when given (the
+    scenario layer passes the blueprint's directory, so blueprints can
+    name their corpus neighbors).
+    """
+    ref = str(ref)
+    lower = ref.lower()
+    if lower.endswith(GRAPHML_SUFFIXES + EDGELIST_SUFFIXES):
+        path = FsPath(ref)
+        if not path.is_absolute() and base_dir is not None:
+            path = FsPath(base_dir) / path
+        if not path.exists():
+            raise GraphError(f"topology file not found: {path}")
+        if lower.endswith(GRAPHML_SUFFIXES):
+            return load_graphml(path)
+        return load_edge_list(path)
+    if ":" in ref:
+        return topology_from_spec(ref)
+    raise GraphError(
+        f"cannot resolve topology reference {ref!r}: not a known file "
+        "suffix (.graphml/.xml/.edges/.edgelist/.txt) or a 'family:args' spec"
+    )

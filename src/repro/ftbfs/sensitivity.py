@@ -23,7 +23,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import parallel
-from repro.core.canonical import INF, UNREACHED, DistanceOracle, make_engine
+from repro.core.canonical import (
+    INF,
+    UNREACHED,
+    DistanceOracle,
+    make_engine,
+    normalize_distance,
+)
 from repro.core.errors import GraphError
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.tree import BFSTree
@@ -115,8 +121,7 @@ class SingleFaultDistanceOracle:
         if pi_edges is None or e not in pi_edges:
             # fault off the canonical shortest path: distance unchanged
             return base
-        d = self._tables[e][v]
-        return INF if d == UNREACHED else d
+        return normalize_distance(self._tables[e][v])
 
 
 class DualFaultDistanceOracle:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
-from repro.core.canonical import INF, UNREACHED, DistanceOracle, make_engine
+from repro.core.canonical import DistanceOracle, make_engine, normalize_distance
 from repro.core.errors import GraphError
 from repro.core.graph import Edge, Graph, normalize_edge
 from repro.core.paths import Path
@@ -222,8 +222,7 @@ class SourceContext:
 
     def fault_distance(self, target: int, fault: Sequence[int]) -> float:
         """``dist(s, target, G \\ {e})`` from the cached per-fault vector."""
-        d = self.fault_distances(fault)[target]
-        return INF if d == UNREACHED else d
+        return normalize_distance(self.fault_distances(fault)[target])
 
     def canonical_path(self, target: int, banned_edges=(), banned_vertices=()) -> Path:
         """``SP(s, target, G', W)`` under a restriction."""

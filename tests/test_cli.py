@@ -263,3 +263,112 @@ class TestArtifactCommands:
         assert rc == 0
         assert (tmp_path / "results" / "bench.json").exists()
         capsys.readouterr()
+
+
+class TestTopologySpecs:
+    def test_topo_graph_spec_generators(self):
+        assert parse_graph_spec("topo:ring:n=6").n == 6
+        assert parse_graph_spec("topo:fattree:k=4").n == 20
+
+    def test_topo_graph_spec_corpus_file(self):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).parent.parent / "benchmarks" / "topologies"
+        g = parse_graph_spec(f"topo:{corpus / 'abilene.graphml'}")
+        assert (g.n, len(g.edges())) == (11, 14)
+
+    def test_malformed_graphml_reports_path_and_line(self, tmp_path, capsys):
+        path = tmp_path / "broken.graphml"
+        path.write_text("<graphml><graph><node id='a'>")
+        rc = main([
+            "build", "--graph", f"topo:{path}",
+            "--out", str(tmp_path / "h.json"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "broken.graphml:1" in err
+
+    def test_malformed_edge_list_reports_path_and_line(self, tmp_path, capsys):
+        path = tmp_path / "bad.edges"
+        path.write_text("a b\nc\n")
+        rc = main([
+            "build", "--graph", f"topo:{path}",
+            "--out", str(tmp_path / "h.json"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "bad.edges:2" in err
+
+
+class TestScenariosCommand:
+    def _blueprint(self, tmp_path):
+        import json
+
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps({
+            "format": "repro-scenario-blueprint",
+            "version": 1,
+            "name": "cli-tiny",
+            "seed": 2,
+            "topology": "ring:n=6",
+            "scenarios": [{"kind": "single_link", "count": 2}],
+            "builder": {"name": "single"},
+        }))
+        return path
+
+    def test_scenarios_end_to_end(self, tmp_path, capsys):
+        rc = main([
+            "scenarios", "--blueprint", str(self._blueprint(tmp_path)),
+            "--engine", "lex-csr",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "blueprint cli-tiny" in out
+        assert "single_link" in out
+        assert "builder single (budget 1)" in out
+        assert "differential: 2 arm(s) bit-identical" in out
+
+    def test_scenarios_engine_all_and_json(self, tmp_path, capsys):
+        json_out = tmp_path / "report.json"
+        rc = main([
+            "scenarios", "--blueprint", str(self._blueprint(tmp_path)),
+            "--engine", "all", "--mode", "fresh", "--json", str(json_out),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        import json
+
+        payload = json.loads(json_out.read_text())
+        assert payload["blueprint"]["name"] == "cli-tiny"
+        assert len(payload["runs"]) >= 2
+        assert payload["scenarios"]
+
+    def test_scenarios_missing_blueprint(self, capsys):
+        rc = main(["scenarios", "--blueprint", "/nonexistent/x.json"])
+        assert rc == 2
+        assert "cannot read blueprint" in capsys.readouterr().err
+
+    def test_scenarios_malformed_blueprint(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{\n  "format": broken\n}\n')
+        rc = main(["scenarios", "--blueprint", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "bad.json:2" in err
+
+    def test_scenarios_invalid_blueprint_schema(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps({
+            "format": "repro-scenario-blueprint",
+            "version": 1,
+            "name": "x",
+            "seed": 1,
+            "topology": "ring:n=5",
+            "scenarios": [{"kind": "meteor"}],
+        }))
+        rc = main(["scenarios", "--blueprint", str(path)])
+        assert rc == 2
+        assert "unknown scenario kind" in capsys.readouterr().err

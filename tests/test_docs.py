@@ -36,6 +36,8 @@ def test_doc_files_exist():
         "benchmarks.md",
         "kernels.md",
         "serving.md",
+        "incremental.md",
+        "scenarios.md",
     ):
         assert (ROOT / "docs" / name).is_file(), name
 
