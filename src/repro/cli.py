@@ -28,7 +28,15 @@ is installed), ``lex-c`` (the numpy kernel with its batched point
 queries running in the compiled C kernel — the top of the kernel
 ladder, see ``docs/kernels.md``; requires a working C compiler or the
 prebuilt extension, and errors clearly otherwise), ``lex`` (legacy
-layered reference), ``perturbed`` (paper-literal randomized weights).
+layered reference), ``perturbed`` (paper-literal randomized weights),
+plus the weighted family ``wlex`` / ``wlex-csr`` (deterministic
+Dijkstra over real edge weights with an ECMP query surface — see
+``docs/weighted.md``).  The weighted engines compute weighted
+distances, so ``--engine all`` comparisons (``bench``, ``scenarios``)
+deliberately leave them out: their report bodies are only comparable
+to each other, not to the hop-count engines; select them explicitly
+to sweep them (uniform-weight graphs then reproduce the lex bodies
+bit-for-bit).
 Builders answer their feasibility point queries through the batched
 plan→dedupe→execute pipeline of :mod:`repro.core.query_batch`
 (vectorized multi-pair execution under ``lex-bulk``/``lex-c``; set
@@ -121,6 +129,22 @@ MBFS_BUILDERS: Dict[str, tuple] = {
     "single": (build_single_ftbfs, 1),
     "generic": (build_generic_ftbfs, None),  # budget comes from --f
 }
+
+
+def _hop_engines() -> List[str]:
+    """Engine names ``--engine all`` expands to (hop semantics only).
+
+    The weighted family (``wlex``/``wlex-csr``) answers in weighted
+    distance, so its report bodies can never be identical to the hop
+    engines' — cross-family sweeps would fail the differential check
+    by construction, not by bug.  Weighted engines run when named
+    explicitly.
+    """
+    return [
+        name
+        for name in sorted(ENGINES)
+        if not getattr(ENGINES[name], "weighted", False)
+    ]
 
 
 def _mbfs_build(name: str, graph: Graph, sources, f: int, engine, jobs):
@@ -257,7 +281,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"dist({source} -> {args.target} | {faults}) = unreachable")
         return 0
     path = oracle.path(source, args.target, faults)
-    print(f"dist({source} -> {args.target} | {faults}) = {int(d)}")
+    shown = int(d) if float(d).is_integer() else d
+    print(f"dist({source} -> {args.target} | {faults}) = {shown}")
     print("route:", "-".join(map(str, path.vertices)))
     return 0
 
@@ -316,6 +341,10 @@ def _kernel_tier_label(engine: str, stats: Optional[Dict[str, int]]) -> str:
     """
     if engine == "lex":
         return "python (legacy)"
+    if engine == "wlex":
+        return "python (weighted heap)"
+    if engine == "wlex-csr":
+        return "csr (weighted dial/heap)"
     if engine in ("lex-csr", "perturbed"):
         return "csr"
     if not stats or not any(stats.values()):
@@ -407,7 +436,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
         return builder(graph, args.source, args.f, engine)
 
-    engines = sorted(ENGINES) if args.engine == "all" else [args.engine]
+    engines = _hop_engines() if args.engine == "all" else [args.engine]
     rounds = max(1, args.rounds)
     results = []
     for engine in engines:
@@ -615,7 +644,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     topo = blueprint.topology()
     if args.engine == "all":
         engines = []
-        for engine in sorted(ENGINES):
+        for engine in _hop_engines():
             try:
                 make_engine(topo.graph, engine)
             except GraphError as err:
@@ -662,12 +691,19 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     ))
     if "builder" in body:
         b = body["builder"]
-        sizes = sorted(s["size"] for s in b["structures"].values())
-        print(
-            f"builder {b['name']} (budget {b['budget']}): |H| per source "
-            f"{sizes}, {b['verified_steps']} within-budget scenario steps "
-            f"verified via FTQueryOracle"
-        )
+        if "skipped" in b:
+            print(
+                f"builder {b['name']} (budget {b['budget']}): skipped "
+                f"({b['skipped']}; FT-BFS structures certify hop "
+                f"distances, not weighted ones)"
+            )
+        else:
+            sizes = sorted(s["size"] for s in b["structures"].values())
+            print(
+                f"builder {b['name']} (budget {b['budget']}): |H| per source "
+                f"{sizes}, {b['verified_steps']} within-budget scenario steps "
+                f"verified via FTQueryOracle"
+            )
     for report, label in zip(reports, labels):
         run = report["run"]
         print(

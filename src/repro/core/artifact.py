@@ -75,10 +75,13 @@ MAGIC = b"RPROART\n"
 FORMAT_VERSION = 1
 #: Bumped on any change to the *array set* or their encodings (what
 #: sections exist, what their ints mean).  Readers refuse other values.
-ABI_VERSION = 1
+#: v2: ``edge_weight`` section added (per-edge float64 weights aligned
+#: with ``graph_edges``; all-ones for unweighted hosts).
+ABI_VERSION = 2
 #: Array sections, in file order.  Part of the ABI.
 ARRAY_NAMES = (
     "graph_edges",  # 2m ints: sorted host-graph edge list, flattened
+    "edge_weight",  # m float64: weight per graph_edges pair (1.0 = unit)
     "structure_eids",  # |H| ints: sorted indices into graph_edges pairs
     "h_indptr",  # n+1 ints: CSR row pointers of H
     "h_nbr",  # 2|H| ints: CSR neighbor vector of H
@@ -86,6 +89,9 @@ ARRAY_NAMES = (
     "label_dist",  # sigma*n ints: per-source base-tree distances (-1 = unreached)
     "label_parent",  # sigma*n ints: per-source canonical parents (-1 = unreached)
 )
+#: Element typecode per section (``array``/``memoryview`` codes);
+#: everything is 8 bytes wide, so the offset math is uniform.
+ARRAY_TYPECODES = {"edge_weight": "d"}
 #: Array sections start on this boundary (cache-line friendly, and
 #: safely over-aligned for int64 memoryview casts).
 ALIGN = 64
@@ -121,6 +127,7 @@ def _structure_arrays(structure: FTStructure) -> Tuple[Dict[str, array], Dict]:
     g = structure.graph
     g.finalize()
     g_edges = sorted(g.edges())
+    wmap = g.edge_weights()
     gid = {e: i for i, e in enumerate(g_edges)}
     eids = sorted(gid[e] for e in structure.edges)
     h = structure.subgraph()
@@ -134,6 +141,7 @@ def _structure_arrays(structure: FTStructure) -> Tuple[Dict[str, array], Dict]:
         label_parent.extend(parent)
     arrays = {
         "graph_edges": array("q", [c for e in g_edges for c in e]),
+        "edge_weight": array("d", [float(wmap[e]) for e in g_edges]),
         "structure_eids": array("q", eids),
         "h_indptr": array("q", csr.indptr),
         "h_nbr": array("q", csr.nbr),
@@ -144,6 +152,7 @@ def _structure_arrays(structure: FTStructure) -> Tuple[Dict[str, array], Dict]:
     meta = {
         "n": g.n,
         "m": g.m,
+        "weighted": g.weighted,
         "sources": list(structure.sources),
         "max_faults": structure.max_faults,
         "builder": structure.builder,
@@ -295,7 +304,8 @@ class Artifact:
                     f"artifact {self.path}: array section {name!r} "
                     "overruns the payload"
                 )
-            views[name] = base[start : start + nbytes].cast("q")
+            code = ARRAY_TYPECODES.get(name, "q")
+            views[name] = base[start : start + nbytes].cast(code)
         self.header = header
         self.meta = header["meta"]
         self.nbytes = size
@@ -342,7 +352,23 @@ class Artifact:
             ge = self._view("graph_edges")
             edges = list(zip(ge[0::2], ge[1::2]))
             meta = self.meta
-            graph = Graph(meta["n"], edges).finalize()
+            g_edges = edges
+            if meta.get("weighted"):
+                # Integer weights were stored as exact float64s; fold
+                # them back to ``int`` so the rebuilt graph is
+                # bit-identical to the source (Dial-queue eligibility
+                # and report bodies both depend on the exact type).
+                ws = [
+                    int(w) if w.is_integer() else w
+                    for w in self._view("edge_weight")
+                ]
+                if len(ws) != len(edges):
+                    raise GraphError(
+                        f"artifact {self.path}: edge_weight count "
+                        f"{len(ws)} != edge count {len(edges)}"
+                    )
+                g_edges = [e + (w,) for e, w in zip(edges, ws)]
+            graph = Graph(meta["n"], g_edges).finalize()
             try:
                 h_edges = [edges[i] for i in self._view("structure_eids")]
             except IndexError:

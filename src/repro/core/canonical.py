@@ -151,9 +151,15 @@ def normalize_distance(d) -> float:
     Accepts the raw ``-1`` of integer distance vectors, the ``inf`` of
     point queries, and ``None``; any of them comes back as
     :data:`UNREACHABLE`, every reachable hop count as a plain ``int``.
+    Weighted engines (:mod:`repro.core.weighted`) produce float
+    distances: integral values collapse to ``int`` — which is what
+    makes uniform-weight runs bit-identical to the hop engines — and
+    non-integral floats pass through unchanged.
     """
     if d is None or d == UNREACHED or d == INF:
         return UNREACHABLE
+    if isinstance(d, float) and not d.is_integer():
+        return d
     return int(d)
 
 
@@ -1178,3 +1184,12 @@ def multi_source_distances(
 def eccentricity(graph: Graph, source: int) -> int:
     """Maximum finite hop distance from ``source`` (its BFS depth)."""
     return max(d for d in bfs_distances(graph, source) if d != UNREACHED)
+
+
+# The weighted engine family (``wlex`` / ``wlex-csr``) registers itself
+# into ENGINES on import; importing it here makes the registry complete
+# for anyone who only imports this module.  The import sits at the very
+# bottom because :mod:`repro.core.weighted` imports back from this
+# module (a deliberate late-binding cycle that resolves in either
+# import order).
+import repro.core.weighted  # noqa: E402,F401  (registration side effect)

@@ -1,8 +1,8 @@
-"""Undirected, unweighted graph substrate.
+"""Undirected graph substrate (unit weights by default).
 
-The whole paper operates on simple undirected unweighted graphs
-``G = (V, E)`` with ``V = {0, ..., n-1}``.  This module provides the one
-graph type used everywhere in :mod:`repro`:
+The paper operates on simple undirected graphs ``G = (V, E)`` with
+``V = {0, ..., n-1}``.  This module provides the one graph type used
+everywhere in :mod:`repro`:
 
 * vertices are dense integers, so per-vertex state lives in plain lists;
 * an edge is the normalized tuple ``(min(u, v), max(u, v))`` — the same
@@ -10,8 +10,16 @@ graph type used everywhere in :mod:`repro`:
 * fault simulation never copies the graph: traversals accept *banned*
   edge/vertex sets (see :mod:`repro.core.canonical`).
 
+Edges carry an optional positive finite weight (default 1) for the
+weighted engine family (see :mod:`repro.core.weighted` and
+``docs/weighted.md``); the BFS/lex engines ignore weights entirely, so
+an unweighted graph behaves exactly as before.  Zero, negative, NaN and
+infinite weights are rejected at :meth:`Graph.add_edge` time — the
+deterministic tie-break contract of the weighted engines requires
+strictly positive weights.
+
 The class is deliberately small and explicit; fancier graph machinery
-(views, attributes, weights) is not needed by the paper and is omitted.
+(views, attributes) is not needed by the paper and is omitted.
 """
 
 from __future__ import annotations
@@ -48,8 +56,31 @@ def normalize_edge(u: int, v: int) -> Edge:
 
 
 def normalize_edges(edges: Iterable[Sequence[int]]) -> FrozenSet[Edge]:
-    """Normalize an iterable of edge-like pairs into a frozenset of edges."""
+    """Normalize an iterable of edge-like pairs into a frozenset of edges.
+
+    Entries may be bare ``(u, v)`` pairs or weighted ``(u, v, w)``
+    triples; only the endpoints survive normalization (weight handling
+    is the caller's job — see :meth:`Graph.apply_delta`).
+    """
     return frozenset(normalize_edge(e[0], e[1]) for e in edges)
+
+
+def check_weight(w) -> float:
+    """Validate one edge weight; returns it unchanged.
+
+    Weights must be positive finite real numbers (``int`` or ``float``,
+    not ``bool``).  Zero-weight edges are rejected outright: the
+    weighted engines' deterministic tie-break and the Dial bucket queue
+    both rely on every relaxation strictly increasing the distance
+    (``docs/weighted.md`` documents the contract).
+    """
+    if isinstance(w, bool) or not isinstance(w, (int, float)):
+        raise GraphError(f"edge weight must be a number, got {w!r}")
+    if not w > 0 or w != w or w == float("inf"):
+        raise GraphError(
+            f"edge weight must be positive and finite, got {w!r}"
+        )
+    return w
 
 
 class DeltaRecord:
@@ -93,14 +124,15 @@ class DeltaRecord:
 
 
 class Graph:
-    """A simple undirected, unweighted graph on vertices ``0..n-1``.
+    """A simple undirected graph on vertices ``0..n-1``.
 
     Parameters
     ----------
     n:
         Number of vertices.
     edges:
-        Optional iterable of ``(u, v)`` pairs to add immediately.
+        Optional iterable of ``(u, v)`` pairs (or weighted ``(u, v, w)``
+        triples) to add immediately.
 
     Notes
     -----
@@ -115,6 +147,7 @@ class Graph:
     __slots__ = (
         "_adj",
         "_edges",
+        "_weights",
         "_sorted",
         "_version",
         "_adj_view",
@@ -128,6 +161,7 @@ class Graph:
             raise GraphError(f"vertex count must be non-negative, got {n}")
         self._adj: List[List[int]] = [[] for _ in range(n)]
         self._edges: Set[Edge] = set()
+        self._weights: Dict[Edge, float] = {}  # non-unit weights only
         self._sorted = True
         self._version = 0
         self._adj_view: Optional[Tuple[int, Tuple[Tuple[int, ...], ...]]] = None
@@ -135,7 +169,7 @@ class Graph:
         self._delta = None  # pending DeltaRecord (see apply_delta / csr_of)
         self._payload_memo = None  # pickled shard payload (repro.core.parallel)
         for e in edges:
-            self.add_edge(e[0], e[1])
+            self.add_edge(e[0], e[1], e[2] if len(e) > 2 else None)
 
     # ------------------------------------------------------------------
     # construction
@@ -152,19 +186,36 @@ class Graph:
             raise GraphError(f"cannot add {count} vertices")
         return [self.add_vertex() for _ in range(count)]
 
-    def add_edge(self, u: int, v: int) -> Edge:
+    def add_edge(self, u: int, v: int, weight=None) -> Edge:
         """Add the undirected edge ``{u, v}``; idempotent.
+
+        ``weight`` defaults to the unit weight 1 (``None`` means "leave
+        as is": adding an existing edge without a weight never changes
+        its stored weight).  Passing a weight for an existing edge
+        updates it — a mutation that bumps :attr:`version` so every
+        derived snapshot and cache rebuilds.  Weights must be positive
+        and finite (:func:`check_weight`).
 
         Returns the normalized edge tuple.
         """
         self._check_vertex(u)
         self._check_vertex(v)
+        if weight is not None:
+            check_weight(weight)
         e = normalize_edge(u, v)
         if e not in self._edges:
             self._edges.add(e)
             self._adj[u].append(v)
             self._adj[v].append(u)
             self._sorted = False
+            self._version += 1
+            if weight is not None and weight != 1:
+                self._weights[e] = weight
+        elif weight is not None and weight != self._weights.get(e, 1):
+            if weight == 1:
+                self._weights.pop(e, None)
+            else:
+                self._weights[e] = weight
             self._version += 1
         return e
 
@@ -184,6 +235,7 @@ class Graph:
         if e not in self._edges:
             raise GraphError(f"edge {e} not present in graph")
         self._edges.discard(e)
+        self._weights.pop(e, None)
         self._adj[u].remove(v)
         self._adj[v].remove(u)
         self._version += 1
@@ -207,9 +259,22 @@ class Graph:
         scratch.  Consecutive deltas merge into one net record with
         add/remove cancellation.
 
+        ``adds`` entries may be weighted ``(u, v, w)`` triples; the
+        weight is validated up front and stored with the new edge
+        (removed edges drop their weight, and re-adding without a
+        weight restores the unit default).  Weighted snapshot caches
+        are invalidated rather than migrated across deltas — the
+        hop-layering migration certificates do not apply to weighted
+        distances (see ``docs/weighted.md``).
+
         Returns the normalized ``(added, removed)`` edge tuples, each
         sorted.
         """
+        adds = [tuple(e) for e in adds]
+        add_weights: Dict[Edge, float] = {}
+        for e in adds:
+            if len(e) > 2 and e[2] is not None:
+                add_weights[normalize_edge(e[0], e[1])] = check_weight(e[2])
         add_set = normalize_edges(adds)
         rem_set = normalize_edges(removes)
         both = add_set & rem_set
@@ -245,7 +310,7 @@ class Graph:
         for (u, v) in rem_set:
             self.remove_edge(u, v)
         for (u, v) in add_set:
-            self.add_edge(u, v)
+            self.add_edge(u, v, add_weights.get((u, v)))
         if record is not None:
             record.merge(add_set, rem_set)
             record.child_version = self._version
@@ -345,37 +410,75 @@ class Graph:
         return rows
 
     # ------------------------------------------------------------------
+    # weights
+    # ------------------------------------------------------------------
+    @property
+    def weighted(self) -> bool:
+        """True iff any edge carries a non-unit weight."""
+        return bool(self._weights)
+
+    def weight(self, u: int, v: int) -> float:
+        """The weight of edge ``{u, v}`` (1 unless set); edge must exist."""
+        e = normalize_edge(u, v)
+        if e not in self._edges:
+            raise GraphError(f"edge {e} not present in graph")
+        return self._weights.get(e, 1)
+
+    def edge_weights(self) -> Dict[Edge, float]:
+        """``{edge: weight}`` over every edge (unit weights included).
+
+        Returns a fresh dict; the weighted engines tabulate per-edge-id
+        weight arrays from it once per snapshot.
+        """
+        w = self._weights
+        return {e: w.get(e, 1) for e in self._edges}
+
+    def weighted_edges(self) -> List[Tuple[int, int, float]]:
+        """Sorted ``(u, v, weight)`` triples — the round-trippable form.
+
+        ``Graph(g.n, g.weighted_edges())`` reconstructs ``g`` exactly
+        (edge set and weights); used by the shard payload, scenario
+        fresh-mode rebuilds and the artifact writer.
+        """
+        w = self._weights
+        return [(u, v, w.get((u, v), 1)) for (u, v) in sorted(self._edges)]
+
+    # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "Graph":
-        """An independent copy of this graph."""
+        """An independent copy of this graph (weights included)."""
         g = Graph(self.n)
         for (u, v) in self._edges:
-            g.add_edge(u, v)
+            g.add_edge(u, v, self._weights.get((u, v)))
         return g
 
     def without_edges(self, banned: Iterable[Sequence[int]]) -> "Graph":
         """A copy of this graph with the given edges removed.
 
         Algorithms should prefer banned-set traversal; this exists for
-        tests and one-off constructions.
+        tests and one-off constructions.  Surviving edges keep their
+        weights.
         """
         banned_set = normalize_edges(banned)
         g = Graph(self.n)
         for e in self._edges:
             if e not in banned_set:
-                g.add_edge(*e)
+                g.add_edge(e[0], e[1], self._weights.get(e))
         return g
 
     def edge_subgraph(self, keep: Iterable[Sequence[int]]) -> "Graph":
-        """A graph on the same vertex set containing only ``keep`` edges."""
+        """A graph on the same vertex set containing only ``keep`` edges.
+
+        Kept edges keep their weights.
+        """
         keep_set = normalize_edges(keep)
         missing = keep_set - self._edges
         if missing:
             raise GraphError(f"edges not present in graph: {sorted(missing)[:5]}")
         g = Graph(self.n)
         for e in keep_set:
-            g.add_edge(*e)
+            g.add_edge(e[0], e[1], self._weights.get(e))
         return g
 
     # ------------------------------------------------------------------
@@ -414,13 +517,18 @@ class Graph:
     def __eq__(self, other) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self.n == other.n and self._edges == other._edges
+        return (
+            self.n == other.n
+            and self._edges == other._edges
+            and self._weights == other._weights
+        )
 
     def __hash__(self):
         raise TypeError("Graph is mutable and unhashable")
 
     def __repr__(self) -> str:
-        return f"Graph(n={self.n}, m={self.m})"
+        tag = ", weighted" if self._weights else ""
+        return f"Graph(n={self.n}, m={self.m}{tag})"
 
     def _check_vertex(self, v: int) -> None:
         if not (isinstance(v, int) and 0 <= v < len(self._adj)):
@@ -430,12 +538,14 @@ class Graph:
 def graph_from_edges(edges: Iterable[Sequence[int]]) -> Graph:
     """Build a graph sized to fit the largest endpoint mentioned.
 
+    Accepts bare ``(u, v)`` pairs or weighted ``(u, v, w)`` triples.
+
     >>> g = graph_from_edges([(0, 1), (1, 4)])
     >>> (g.n, g.m)
     (5, 2)
     """
     edge_list = [tuple(e) for e in edges]
-    n = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+    n = 1 + max((max(e[0], e[1]) for e in edge_list), default=-1)
     return Graph(n, edge_list)
 
 

@@ -101,6 +101,11 @@ class PrepickledPayload:
 def graph_payload(graph) -> PrepickledPayload:
     """The pool payload for ``graph`` — ``(n, sorted edge list)`` — memoized.
 
+    Weighted graphs ship ``(u, v, w)`` triples
+    (:meth:`~repro.core.graph.Graph.weighted_edges`) so the worker-side
+    ``Graph(n, edge_list)`` rebuild preserves weights; unweighted
+    graphs keep the compact 2-tuple form.
+
     The pickled bytes are cached on the graph keyed by its mutation
     :attr:`~repro.core.graph.Graph.version`, so repeated sharded
     sweeps over one topology (and the many per-chunk submissions
@@ -111,7 +116,11 @@ def graph_payload(graph) -> PrepickledPayload:
     memo = getattr(graph, "_payload_memo", None)
     if memo is not None and memo[0] == graph.version:
         return memo[1]
-    wrapped = PrepickledPayload((graph.n, sorted(graph.edges())))
+    if getattr(graph, "weighted", False):
+        edge_list = graph.weighted_edges()
+    else:
+        edge_list = sorted(graph.edges())
+    wrapped = PrepickledPayload((graph.n, edge_list))
     try:
         graph._payload_memo = (graph.version, wrapped)
     except AttributeError:

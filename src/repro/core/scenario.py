@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core import parallel
 from repro.core.canonical import (
     DEFAULT_ENGINE,
+    ENGINES,
     UNREACHABLE,
     DistanceOracle,
     make_engine,
@@ -429,17 +430,23 @@ def _oracle_for(graph: Graph, engine_name: Optional[str]):
 def _check_sentinel(vec: Sequence[float], context: str) -> None:
     """Enforce the documented-sentinel contract on a normalized vector.
 
-    Every entry must be a non-negative hop count or exactly
+    Every entry must be a non-negative finite distance (a hop count for
+    the lex engines, a weighted distance — possibly fractional — for the
+    weighted family) or exactly
     :data:`~repro.core.canonical.UNREACHABLE`; anything else means an
     engine leaked a private encoding into an analysis path.
     """
     for v, d in enumerate(vec):
         if d == UNREACHABLE:
             continue
-        if not isinstance(d, int) or d < 0:
+        if (
+            isinstance(d, bool)
+            or not isinstance(d, (int, float))
+            or not 0 <= d < UNREACHABLE
+        ):
             raise VerificationError(
                 f"{context}: vertex {v} reports {d!r}, which is neither a "
-                f"non-negative hop count nor the UNREACHABLE sentinel"
+                f"non-negative finite distance nor the UNREACHABLE sentinel"
             )
 
 
@@ -537,6 +544,14 @@ def _replay_scenario(graph: Graph, oracle, sources: Sequence[int],
     """
     n = graph.n
     edges = sorted(graph.edges())
+    # Weight map of the base graph: fault injection removes and re-adds
+    # edges, and a re-add must restore the original weight or the
+    # weighted engines would silently diverge between modes.
+    wmap = graph.edge_weights()
+
+    def weigh(es):
+        return [(u, v, wmap[(u, v)]) for (u, v) in es]
+
     removed: set = set()
     entries: List[dict] = []
     checked = 0
@@ -545,11 +560,11 @@ def _replay_scenario(graph: Graph, oracle, sources: Sequence[int],
             removed.difference_update(adds)
             removed.update(removes)
             if mode == "delta":
-                graph.apply_delta(adds=adds, removes=removes)
+                graph.apply_delta(adds=weigh(adds), removes=removes)
                 step_oracle = oracle
             else:
                 step_graph = Graph(
-                    n, [e for e in edges if e not in removed]
+                    n, weigh(e for e in edges if e not in removed)
                 )
                 step_oracle = _oracle_for(step_graph, engine)
             vecs = {
@@ -572,7 +587,7 @@ def _replay_scenario(graph: Graph, oracle, sources: Sequence[int],
     finally:
         if mode == "delta" and removed:
             # Leave the worker's long-lived graph as we found it.
-            graph.apply_delta(adds=sorted(removed))
+            graph.apply_delta(adds=weigh(sorted(removed)))
     return entries, checked
 
 
@@ -769,10 +784,21 @@ def sweep_blueprint(blueprint: Blueprint, *, engine: Optional[str] = None,
         },
     }
     if blueprint.builder_spec is not None:
-        report["builder"] = _builder_report(
-            topo, sources, scenarios, blueprint.builder_spec["name"],
-            engine_name,
-        )
+        builder_name = blueprint.builder_spec["name"]
+        if getattr(ENGINES.get(engine_name), "weighted", False):
+            # FT-BFS structures certify *hop* distances; a weighted
+            # engine cannot drive the builder verification arm, so the
+            # block degrades to a deterministic marker (keeping the
+            # bodies of all weighted arms mutually identical).
+            report["builder"] = {
+                "name": builder_name,
+                "budget": BUILDER_BUDGETS[builder_name],
+                "skipped": "weighted-engine",
+            }
+        else:
+            report["builder"] = _builder_report(
+                topo, sources, scenarios, builder_name, engine_name,
+            )
     return report
 
 

@@ -5,9 +5,11 @@ graphs; this module supplies the *real-topology* side of the scenario
 corpus (see ``docs/scenarios.md``):
 
 * :func:`load_graphml` — Topology Zoo-style GraphML files (namespaced
-  or plain), node labels preserved;
-* :func:`load_edge_list` — named edge lists (one ``u v`` pair per
-  line, arbitrary string names; pure-integer files keep their ids);
+  or plain), node labels preserved, edge weight/delay/cost attributes
+  become real edge weights (see :data:`EDGE_WEIGHT_ATTRS`);
+* :func:`load_edge_list` — named edge lists (one ``u v`` pair — or
+  weighted ``u v w`` triple — per line, arbitrary string names;
+  pure-integer files keep their ids);
 * :func:`fat_tree` / :func:`ring_topology` / :func:`torus_topology` —
   the parameterized datacenter/backbone generator family, reachable
   through :func:`topology_from_spec` (``"fattree:k=4"``,
@@ -29,13 +31,20 @@ from pathlib import Path as FsPath
 from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.core.errors import GraphError
-from repro.core.graph import Edge, Graph, normalize_edge
+from repro.core.graph import Edge, Graph, check_weight, normalize_edge
 
 PathLike = Union[str, FsPath]
 
 #: File suffixes each loader claims (used by :func:`load_topology`).
 GRAPHML_SUFFIXES = (".graphml", ".xml")
 EDGELIST_SUFFIXES = (".edges", ".edgelist", ".txt")
+
+#: GraphML edge attribute names recognized as edge weights, in
+#: preference order (the first one the file declares wins).  Topology
+#: Zoo files use ``LinkSpeed``-style capacities *and* delay attributes;
+#: only cost-like attributes are meaningful as shortest-path weights,
+#: so the list is deliberately short.
+EDGE_WEIGHT_ATTRS = ("weight", "delay", "cost", "metric")
 
 
 class Topology:
@@ -115,19 +124,28 @@ class Topology:
         return f"Topology({self.name!r}, n={self.n}, m={self.m})"
 
 
-def _build(name: str, named_edges: List[Tuple[str, str]],
+def _build(name: str, named_edges: List[Tuple],
            path: PathLike = None) -> Topology:
-    """Assemble a topology from named edges (sorted-name id assignment)."""
+    """Assemble a topology from named edges (sorted-name id assignment).
+
+    Entries are ``(u, v)`` pairs or weighted ``(u, v, w)`` triples;
+    for duplicate (parallel) links the first declared weight wins —
+    the graphs are simple, and keeping the first declaration makes the
+    collapse deterministic.
+    """
     where = f" in {path}" if path is not None else ""
-    names = sorted({u for u, _ in named_edges} | {v for _, v in named_edges})
+    names = sorted({e[0] for e in named_edges} | {e[1] for e in named_edges})
     index = {x: i for i, x in enumerate(names)}
     g = Graph(len(names))
-    for u, v in named_edges:
+    for e in named_edges:
+        u, v = e[0], e[1]
         if u == v:
             raise GraphError(
                 f"self loop {u!r}-{v!r}{where} (topologies must be simple)"
             )
-        g.add_edge(index[u], index[v])  # duplicate links collapse (simple)
+        if g.has_edge(index[u], index[v]):
+            continue  # duplicate links collapse (simple graphs)
+        g.add_edge(index[u], index[v], e[2] if len(e) > 2 else None)
     return Topology(name, g.finalize(), names)
 
 
@@ -146,9 +164,16 @@ def load_graphml(path: PathLike) -> Topology:
     ``label`` data key when one is declared and every label is unique,
     else from the node ``id`` attributes.  Directed edge declarations
     are folded into undirected edges and parallel links collapse (the
-    library's graphs are simple).  Malformed XML, missing node ids or
-    dangling edge endpoints raise :class:`GraphError` with the path
-    (and parser line where available).
+    library's graphs are simple; the first declared link's weight
+    wins).  When the file declares an edge data key named after one of
+    :data:`EDGE_WEIGHT_ATTRS` (``weight`` > ``delay`` > ``cost`` >
+    ``metric``), its per-edge values become real edge weights on the
+    loaded graph — integral values load as ``int`` so the Dial queue
+    of the weighted CSR engine applies; edges without the datum keep
+    the unit weight.  Malformed XML, missing node ids, dangling edge
+    endpoints or non-positive/unparsable weights raise
+    :class:`GraphError` with the path (and parser line where
+    available).
     """
     path = FsPath(path)
     try:
@@ -170,6 +195,19 @@ def load_graphml(path: PathLike) -> Topology:
         and key.get("for") == "node"
         and key.get("attr.name") in ("label", "Label", "name")
     }
+    # The edge weight key, chosen by EDGE_WEIGHT_ATTRS preference
+    # (case-insensitive on the attribute name).
+    weight_key = None
+    weight_rank = len(EDGE_WEIGHT_ATTRS)
+    for key in root.iter():
+        if _localname(key.tag) != "key" or key.get("for") != "edge":
+            continue
+        attr = (key.get("attr.name") or "").lower()
+        if attr in EDGE_WEIGHT_ATTRS:
+            rank = EDGE_WEIGHT_ATTRS.index(attr)
+            if rank < weight_rank:
+                weight_key = key.get("id")
+                weight_rank = rank
     node_labels: Dict[str, str] = {}
     named_edges: List[Tuple[str, str]] = []
     for elem in root.iter():
@@ -203,7 +241,34 @@ def load_graphml(path: PathLike) -> Topology:
         if src not in node_labels or dst not in node_labels:
             missing = src if src not in node_labels else dst
             raise GraphError(f"{path}: edge references unknown node {missing!r}")
-        named_edges.append((node_labels[src], node_labels[dst]))
+        weight = None
+        if weight_key is not None:
+            for data in elem:
+                if (
+                    _localname(data.tag) == "data"
+                    and data.get("key") == weight_key
+                    and data.text
+                    and data.text.strip()
+                ):
+                    raw = data.text.strip()
+                    try:
+                        w = float(raw)
+                    except ValueError:
+                        raise GraphError(
+                            f"{path}: edge {src}-{dst} has unparsable "
+                            f"weight {raw!r}"
+                        ) from None
+                    weight = int(w) if w.is_integer() else w
+                    try:
+                        check_weight(weight)
+                    except GraphError as err:
+                        raise GraphError(
+                            f"{path}: edge {src}-{dst}: {err}"
+                        ) from None
+        if weight is None:
+            named_edges.append((node_labels[src], node_labels[dst]))
+        else:
+            named_edges.append((node_labels[src], node_labels[dst], weight))
     if not named_edges:
         raise GraphError(f"{path}: GraphML file declares no edges")
     return _build(path.stem, named_edges, path)
@@ -212,14 +277,16 @@ def load_graphml(path: PathLike) -> Topology:
 def load_edge_list(path: PathLike) -> Topology:
     """Load a named edge-list file into a :class:`Topology`.
 
-    Format: one ``u v`` pair per whitespace-separated line; blank
-    lines and ``#`` comments are ignored.  Names are arbitrary
-    strings; when *every* endpoint parses as a non-negative integer
-    the file is treated as an integer edge list instead (ids kept,
-    names are their decimal strings, an optional ``# n=<n>`` header
-    sets the vertex count).  Anything else — a line without exactly
-    two tokens, a self loop — raises :class:`GraphError` with the
-    path and line number.
+    Format: one ``u v`` pair — or weighted ``u v w`` triple — per
+    whitespace-separated line; blank lines and ``#`` comments are
+    ignored.  A third token is the edge weight (positive and finite;
+    integral values load as ``int``).  Names are arbitrary strings;
+    when *every* endpoint parses as a non-negative integer the file is
+    treated as an integer edge list instead (ids kept, names are their
+    decimal strings, an optional ``# n=<n>`` header sets the vertex
+    count).  Anything else — a line without two or three tokens, a
+    self loop, a bad weight — raises :class:`GraphError` with the path
+    and line number.
     """
     path = FsPath(path)
     try:
@@ -243,24 +310,39 @@ def load_edge_list(path: PathLike) -> Topology:
                     ) from None
             continue
         parts = line.split()
-        if len(parts) != 2:
+        if len(parts) not in (2, 3):
             raise GraphError(
-                f"{path}:{lineno}: expected 'u v', got {raw!r}"
+                f"{path}:{lineno}: expected 'u v' or 'u v w', got {raw!r}"
             )
         if parts[0] == parts[1]:
             raise GraphError(
                 f"{path}:{lineno}: self loop {parts[0]!r} "
                 "(topologies must be simple)"
             )
-        named_edges.append((parts[0], parts[1]))
+        if len(parts) == 2:
+            named_edges.append((parts[0], parts[1]))
+        else:
+            try:
+                w = float(parts[2])
+            except ValueError:
+                raise GraphError(
+                    f"{path}:{lineno}: bad edge weight {parts[2]!r}"
+                ) from None
+            weight = int(w) if w.is_integer() else w
+            try:
+                check_weight(weight)
+            except GraphError as err:
+                raise GraphError(f"{path}:{lineno}: {err}") from None
+            named_edges.append((parts[0], parts[1], weight))
     if not named_edges:
         raise GraphError(f"{path}: edge-list file declares no edges")
-    if all(tok.isdigit() for uv in named_edges for tok in uv):
-        ids = [(int(u), int(v)) for u, v in named_edges]
-        n = max(header_n or 0, 1 + max(max(u, v) for u, v in ids))
+    if all(tok.isdigit() for e in named_edges for tok in e[:2]):
+        ids = [(int(e[0]), int(e[1])) + tuple(e[2:]) for e in named_edges]
+        n = max(header_n or 0, 1 + max(max(e[0], e[1]) for e in ids))
         g = Graph(n)
-        for u, v in ids:
-            g.add_edge(u, v)
+        for e in ids:
+            if not g.has_edge(e[0], e[1]):
+                g.add_edge(e[0], e[1], e[2] if len(e) > 2 else None)
         return Topology(path.stem, g.finalize(), [str(i) for i in range(n)])
     return _build(path.stem, named_edges, path)
 

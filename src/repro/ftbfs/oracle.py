@@ -107,7 +107,12 @@ class FTQueryOracle:
         if host is not self._h:
             missing = [e for e in added if not host.has_edge(*e)]
             if missing:
-                host.apply_delta(adds=missing)
+                # Carry the stored weight along (1 for unit edges, where
+                # add_edge keeps the weight table untouched) so H ⊆ G
+                # holds for weights too, not just the edge set.
+                host.apply_delta(
+                    adds=[(u, v, self._h.weight(u, v)) for (u, v) in missing]
+                )
         edges = (set(self.structure.edges) | set(added)) - set(removed)
         self.structure = dataclasses.replace(
             self.structure, edges=frozenset(edges)

@@ -196,6 +196,53 @@ def _parse_faults(raw) -> List[Tuple[int, int]]:
     return out
 
 
+def _parse_delta_adds(raw) -> List[Tuple]:
+    """Delta ``adds`` entries: ``[u, v]`` or a weighted ``[u, v, w]``.
+
+    The weight rides along untouched — :meth:`repro.core.graph.Graph
+    .apply_delta` validates it (``check_weight``) so wire clients get
+    the same error text as in-process callers.
+    """
+    if not raw:
+        return []
+    out = []
+    for item in raw:
+        if len(item) == 2:
+            out.append((int(item[0]), int(item[1])))
+        elif len(item) == 3:
+            out.append((int(item[0]), int(item[1]), item[2]))
+        else:
+            raise GraphError(
+                f"bad delta add {item!r}; expected [u, v] or [u, v, w]"
+            )
+    return out
+
+
+def _wire_distance(d):
+    """The ``"distance"`` response field for one raw oracle distance.
+
+    ``None`` when unreachable; integral values collapse to ``int`` so
+    hop-semantics servers keep emitting plain integers and weighted
+    distances survive as JSON floats (the asymmetry ``2`` vs ``2.0``
+    would otherwise leak host float formatting into the protocol).
+    """
+    if d == INF or d == -1:
+        return None
+    if isinstance(d, float) and d.is_integer():
+        return int(d)
+    return d
+
+
+def _wire_hops(d):
+    """The legacy ``"hops"`` field: ``-1`` when unreachable, ``None``
+    when the distance is fractional (a weighted oracle; hop counts do
+    not apply)."""
+    dist = _wire_distance(d)
+    if dist is None:
+        return -1
+    return dist if isinstance(dist, int) else None
+
+
 class QueryServer:
     """Threaded accept loop serving one oracle over a local socket.
 
@@ -393,6 +440,7 @@ class QueryServer:
             "builder": structure.builder,
             "n": g.n,
             "m": g.m,
+            "weighted": bool(getattr(g, "weighted", False)),
             "sources": list(structure.sources),
             "max_faults": structure.max_faults,
             "structure_edges": structure.size,
@@ -428,7 +476,7 @@ class QueryServer:
         faults = _parse_faults(request.get("faults"))
         with self._qlock:
             d = self.oracle.distance(source, target, faults)
-        return {"hops": -1 if d == INF else int(d)}
+        return {"hops": _wire_hops(d), "distance": _wire_distance(d)}
 
     def _op_batch(self, request: dict) -> dict:
         queries = request["queries"]
@@ -444,7 +492,10 @@ class QueryServer:
             for source, target, faults in parsed:
                 batch.add(source, target, faults, ())
             hops = batch.execute()
-        return {"hops": list(hops)}
+        return {
+            "hops": [_wire_hops(h) for h in hops],
+            "distances": [_wire_distance(h) for h in hops],
+        }
 
     def _op_path(self, request: dict) -> dict:
         source = int(request["source"])
@@ -453,15 +504,20 @@ class QueryServer:
         with self._qlock:
             d = self.oracle.distance(source, target, faults)
             if d == INF:
-                return {"hops": -1, "vertices": None}
+                return {"hops": -1, "distance": None, "vertices": None}
             path = self.oracle.path(source, target, faults)
-        return {"hops": int(d), "vertices": list(path.vertices)}
+        return {
+            "hops": _wire_hops(d),
+            "distance": _wire_distance(d),
+            "vertices": list(path.vertices),
+        }
 
     def _op_delta(self, request: dict) -> dict:
         """Absorb a topology update into the served structure in place.
 
-        ``{"op": "delta", "adds": [[u, v], ...], "removes": [[u, v],
-        ...]}`` — edges enter/leave the served subgraph without
+        ``{"op": "delta", "adds": [[u, v] | [u, v, w], ...],
+        "removes": [[u, v], ...]}`` — edges enter/leave the served
+        subgraph (weighted adds carry their weight) without
         restarting the server or dropping preseeded caches: the next
         snapshot is patched incrementally
         (:class:`~repro.core.csr.DeltaCSRGraph`) and cached answers
@@ -475,7 +531,7 @@ class QueryServer:
         from repro.core.csr import csr_of
         from repro.core.snapshot_cache import shared_cache
 
-        adds = _parse_faults(request.get("adds"))
+        adds = _parse_delta_adds(request.get("adds"))
         removes = _parse_faults(request.get("removes"))
         with self._qlock:
             before = shared_cache().stats()
@@ -569,14 +625,28 @@ class ServeClient:
         return response
 
     def point(self, source: int, target: int, faults: Sequence = ()) -> int:
-        """Raw hop distance (``-1`` = unreachable), like the kernel's."""
+        """Raw hop distance (``-1`` = unreachable), like the kernel's.
+
+        ``None`` when the serving oracle is weighted and the distance
+        is fractional — use :meth:`distance` for weighted servers.
+        """
         return self._checked(
             "point", source=source, target=target, faults=[list(f) for f in faults]
         )["hops"]
 
+    def distance(self, source: int, target: int, faults: Sequence = ()):
+        """Exact served distance (weighted-aware; ``None`` = unreachable)."""
+        return self._checked(
+            "point", source=source, target=target, faults=[list(f) for f in faults]
+        )["distance"]
+
     def batch(self, queries: Sequence[dict]) -> List[int]:
         """Hop distances for many ``{source, target, faults}`` queries."""
         return self._checked("batch", queries=list(queries))["hops"]
+
+    def batch_distances(self, queries: Sequence[dict]) -> List:
+        """Exact distances (weighted-aware) for many queries."""
+        return self._checked("batch", queries=list(queries))["distances"]
 
     def path(
         self, source: int, target: int, faults: Sequence = ()

@@ -37,6 +37,11 @@ MODES = ("fresh", "delta")
 #: The engine ladder the differential contract covers (when runnable).
 LEX_ENGINES = ("lex", "lex-csr", "lex-bulk", "lex-c")
 
+#: The weighted engine family (see ``docs/weighted.md``): replayed as
+#: its own differential group — weighted report bodies are only
+#: comparable to each other, never to the hop engines'.
+WEIGHTED_ENGINES = ("wlex", "wlex-csr")
+
 
 def corpus_blueprints() -> List[pathlib.Path]:
     """Every blueprint JSON of the checked-in mini-corpus, sorted."""
@@ -119,5 +124,26 @@ def replay_corpus(engines: Optional[Sequence[str]] = None) -> dict:
     out = {}
     for path in corpus_blueprints():
         _body, reports = replay_blueprint(path, engines=engines)
+        out[path.name] = report_signature(reports[0])
+    return out
+
+
+def replay_corpus_weighted() -> dict:
+    """Replay the mini-corpus under the weighted engine family.
+
+    The weighted engines form their own differential group (their
+    distance bodies are not comparable to the hop engines'), but the
+    same bit-identity contract holds within the family across engines
+    and execution modes — including on unweighted topologies, where
+    uniform weights make them reproduce the lex tie-break exactly.
+    Blueprint builder blocks degrade to the deterministic
+    ``skipped: weighted-engine`` marker (FT-BFS structures certify hop
+    distances only).
+    """
+    out = {}
+    for path in corpus_blueprints():
+        _body, reports = replay_blueprint(
+            path, engines=list(WEIGHTED_ENGINES)
+        )
         out[path.name] = report_signature(reports[0])
     return out

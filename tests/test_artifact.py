@@ -272,3 +272,55 @@ def test_artifact_verify_default_reads_env(monkeypatch):
     monkeypatch.setenv("REPRO_ARTIFACT_VERIFY", "on")
     assert artifact_mod._verify_default()
     assert os.environ["REPRO_ARTIFACT_VERIFY"] == "on"
+
+
+class TestWeightedArtifacts:
+    """ABI v2: the edge_weight section (docs/weighted.md)."""
+
+    def _weighted_structure(self):
+        import random
+
+        g = erdos_renyi(20, 0.22, seed=8)
+        rng = random.Random("artifact-weights")
+        out = type(g)(g.n)
+        for i, (u, v) in enumerate(sorted(g.edges())):
+            # Mix exact ints and fractional floats: both must round-trip
+            # through the float64 section without drifting type or value.
+            out.add_edge(u, v, rng.randint(1, 9) if i % 3 else 2.5)
+        return build_cons2ftbfs(out, 0)
+
+    def test_weighted_roundtrip_restores_exact_weights(self, tmp_path):
+        s = self._weighted_structure()
+        path = save_artifact(s, tmp_path / "w.bin")
+        with load_artifact(path) as art:
+            back = art.structure()
+            assert back.graph.weighted
+            assert back.graph.weighted_edges() == s.graph.weighted_edges()
+            # Integer weights come back as int, floats as float — Dial
+            # eligibility and bit-identity depend on the exact types.
+            for (_, _, w0), (_, _, w1) in zip(
+                s.graph.weighted_edges(), back.graph.weighted_edges()
+            ):
+                assert type(w0) is type(w1)
+            verify_structure(back)
+
+    def test_weighted_oracle_identical_to_inprocess(self, tmp_path):
+        s = self._weighted_structure()
+        path = save_artifact(s, tmp_path / "w.bin")
+        fresh = FTQueryOracle(s, engine="wlex-csr")
+        with load_artifact(path) as art:
+            served = FTQueryOracle(art.structure(), engine="wlex-csr")
+            faults = sample_faults(s)
+            for t in range(s.graph.n):
+                assert served.distance(0, t) == fresh.distance(0, t)
+                assert served.distance(0, t, faults) == fresh.distance(
+                    0, t, faults
+                )
+
+    def test_unweighted_artifacts_stay_unweighted(self, tmp_path):
+        s = sample_structure()
+        path = save_artifact(s, tmp_path / "h.bin")
+        with load_artifact(path) as art:
+            back = art.structure()
+            assert not back.graph.weighted
+            assert back.graph == s.graph

@@ -42,7 +42,7 @@ from repro.core.errors import GraphError
 from repro.core.graph import Graph
 from repro.generators import erdos_renyi, path_graph
 
-from tests.zoo import zoo_params
+from tests.zoo import random_restriction, zoo_params
 
 #: The ``lex-c`` tier needs a loadable C kernel (compiler or prebuilt
 #: extension); hosts without one run the rest of the suite plus the
@@ -81,17 +81,6 @@ def forced_c_oracle(graph):
     """A :class:`CDistanceOracle` over the forced vectorized kernel."""
     force_vectorized(graph)
     return CDistanceOracle(graph)
-
-
-def random_restriction(graph, rng, max_edges=3, max_vertices=3, forbid=(0,)):
-    """A random banned edge/vertex set (never banning the vertices in forbid)."""
-    edges = sorted(graph.edges())
-    banned_edges = rng.sample(edges, k=min(len(edges), rng.randrange(0, max_edges + 1)))
-    candidates = [v for v in graph.vertices() if v not in set(forbid)]
-    banned_vertices = rng.sample(
-        candidates, k=min(len(candidates), rng.randrange(0, max_vertices + 1))
-    )
-    return banned_edges, banned_vertices
 
 
 @zoo_params()

@@ -38,6 +38,7 @@ def test_doc_files_exist():
         "serving.md",
         "incremental.md",
         "scenarios.md",
+        "weighted.md",
     ):
         assert (ROOT / "docs" / name).is_file(), name
 

@@ -37,6 +37,7 @@ from repro.core.topology import (
 )
 from tests.diffcheck import (
     CORPUS_DIR,
+    WEIGHTED_ENGINES,
     available_engines,
     corpus_blueprints,
     replay_blueprint,
@@ -408,3 +409,63 @@ class TestDifferentialCorpus:
         # lex and lex-csr are always constructible; the vectorized and
         # C tiers join wherever this host supports them.
         assert "lex" in engines and "lex-csr" in engines
+
+
+class TestWeightedDifferentialCorpus:
+    """Corpus replay under the weighted engine family.
+
+    The weighted engines form their own differential group: within the
+    family, fresh, delta and independently rebuilt sweeps must produce
+    bit-identical report bodies on every corpus blueprint — weighted
+    topologies (Abilene delays) and unweighted ones alike.
+    """
+
+    @pytest.mark.parametrize(
+        "path", corpus_blueprints(), ids=lambda p: p.stem
+    )
+    def test_weighted_corpus_replay_bit_identical(self, path):
+        body, reports = replay_blueprint(
+            path, engines=list(WEIGHTED_ENGINES)
+        )
+        assert len(reports) == len(WEIGHTED_ENGINES) * 2  # x fresh/delta
+        assert body["scenarios"]
+        # rebuild arm: an independent sweep from a fresh blueprint load
+        # must reproduce the exact body (nothing leaked from the first
+        # replay's caches or graph mutations)
+        again = sweep_blueprint(
+            load_blueprint(path), engine="wlex-csr", mode="fresh"
+        )
+        assert strip_volatile(again) == body
+
+    def test_weighted_abilene_blueprint_uses_delays(self):
+        blueprint = load_blueprint(CORPUS_DIR / "abilene_weighted.json")
+        topo = blueprint.topology()
+        assert topo.graph.weighted
+        assert topo.graph.weight(*topo.edge(("HSTN", "LOSA"))) == 20
+        weighted = strip_volatile(sweep_blueprint(blueprint, engine="wlex"))
+        hop = strip_volatile(sweep_blueprint(blueprint, engine="lex-csr"))
+        # delays actually shape the metrics: the weighted body must
+        # differ from the hop body on this topology
+        assert weighted != hop
+
+    def test_uniform_weights_reproduce_hop_body(self):
+        # On an unweighted topology the weighted engines degrade to the
+        # BFS lex order, so even the *report bodies* are bit-identical
+        # to the hop engines' (the tie-break contract, observed
+        # end-to-end through the sweep pipeline).
+        blueprint = _tiny_blueprint()
+        weighted = strip_volatile(sweep_blueprint(blueprint, engine="wlex-csr"))
+        hop = strip_volatile(sweep_blueprint(blueprint, engine="lex-csr"))
+        assert weighted == hop
+
+    def test_builder_block_skipped_under_weighted_engine(self):
+        blueprint = _tiny_blueprint(builder={"name": "single"})
+        report = sweep_blueprint(blueprint, engine="wlex")
+        assert report["builder"] == {
+            "name": "single",
+            "budget": 1,
+            "skipped": "weighted-engine",
+        }
+        # and the skip marker is itself part of the deterministic body
+        again = sweep_blueprint(blueprint, engine="wlex-csr", mode="delta")
+        assert strip_volatile(again) == strip_volatile(report)

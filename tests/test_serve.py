@@ -370,3 +370,94 @@ def test_handle_is_a_plain_function_surface():
     assert response["hops"] == 0
     response = server.handle(json.loads('{"op": "nope"}'))
     assert response["error_type"] == "ProtocolError"
+
+
+class TestWeightedServing:
+    """The weighted-aware protocol fields (docs/weighted.md)."""
+
+    def _weighted_server(self):
+        from repro.core.graph import Graph
+
+        g = Graph(6)
+        weights = {
+            (0, 1): 2, (1, 2): 0.5, (0, 3): 7, (2, 3): 1.5, (3, 4): 3,
+        }  # d(0,2)=2.5 fractional, d(0,3)=4 integral; 5 isolated
+        for (u, v), w in weights.items():
+            g.add_edge(u, v, w)
+        structure = build_cons2ftbfs(g, 0)
+        oracle = FTQueryOracle(structure, engine="wlex-csr")
+        server = QueryServer(oracle)
+        return structure, oracle, server
+
+    @staticmethod
+    def _point(client, source, target):
+        response = client.request("point", source=source, target=target)
+        return response["hops"], response["distance"]
+
+    def test_point_batch_path_report_weighted_distances(self):
+        structure, fresh, server = self._weighted_server()
+        address = server.start()
+        try:
+            with ServeClient(address) as client:
+                info = client.info()
+                assert info["weighted"] is True
+                assert info["engine"] == "wlex-csr"
+                # fractional distance: 0-1-2 costs 2.5; hops is None
+                # (hop counts do not apply), distance is the float.
+                assert self._point(client, 0, 2) == (None, 2.5)
+                assert client.distance(0, 2) == 2.5
+                # integral weighted distance collapses to int on the wire
+                assert self._point(client, 0, 3) == (4, 4)
+                # unreachable: legacy hops sentinel + None distance
+                assert self._point(client, 0, 5) == (-1, None)
+                queries = [
+                    {"source": 0, "target": t} for t in range(structure.graph.n)
+                ]
+                expect = [fresh.distance(0, t) for t in range(structure.graph.n)]
+                assert client.batch_distances(queries) == [
+                    None if d == float("inf")
+                    else int(d) if float(d).is_integer() else d
+                    for d in expect
+                ]
+                hops, vertices = client.path(0, 2)
+                assert hops is None  # fractional total
+                assert vertices == [0, 1, 2]
+                path = client.request("path", source=0, target=3)
+                assert path["distance"] == 4
+        finally:
+            server.shutdown()
+
+    def test_delta_carries_weights_over_the_wire(self):
+        structure, oracle, server = self._weighted_server()
+        address = server.start()
+        try:
+            with ServeClient(address) as client:
+                assert client.distance(0, 3) == 4  # 0-1-2-3: 2+0.5+1.5
+                client.delta(removes=[(1, 2)])
+                assert client.distance(0, 3) == 7  # forced onto 0-3
+                # restore with the original weight: [u, v, w] on the wire
+                client.delta(adds=[(1, 2, 0.5)])
+                assert client.distance(0, 3) == 4
+                # a new weighted edge mirrors into the host graph with
+                # its weight, so a rebuilt oracle sees the same metric
+                client.delta(adds=[(4, 5, 0.25)])
+                assert client.distance(0, 5) == 7.25
+                rebuilt = FTQueryOracle(oracle.structure, engine="wlex")
+                assert rebuilt.distance(0, 5) == 7.25
+                with pytest.raises(GraphError, match="expected .u, v."):
+                    client.delta(adds=[(1, 2, 3, 4)])
+        finally:
+            server.shutdown()
+
+    def test_hop_servers_also_report_distance_fields(self, running_server):
+        structure, _server, address = running_server
+        fresh = FTQueryOracle(structure)
+        with ServeClient(address) as client:
+            assert client.info()["weighted"] is False
+            for t in (0, 1, structure.graph.n - 1):
+                hops, distance = self._point(client, 0, t)
+                d = fresh.distance(0, t)
+                if d == float("inf"):
+                    assert (hops, distance) == (-1, None)
+                else:
+                    assert (hops, distance) == (int(d), int(d))
